@@ -1,0 +1,257 @@
+package clof_test
+
+// One testing.B benchmark per table and figure of the paper's evaluation
+// (the per-experiment index in DESIGN.md §4). Each bench regenerates its
+// experiment on the NUMA simulator at reduced (Quick) scale so that
+// `go test -bench=. -benchmem` finishes in minutes; cmd/clof-figures runs
+// the full-scale versions. Key results are attached via b.ReportMetric
+// (unit suffixes name the series), so the bench output doubles as a compact
+// paper-vs-measured record.
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	clof "github.com/clof-go/clof"
+	"github.com/clof-go/clof/internal/figures"
+	"github.com/clof-go/clof/internal/locks"
+	"github.com/clof-go/clof/internal/topo"
+	"github.com/clof-go/clof/internal/workload"
+)
+
+var quick = figures.Options{Quick: true}
+
+// BenchmarkFig1Heatmap regenerates the §3.1 pairwise ping-pong heatmaps.
+func BenchmarkFig1Heatmap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		x86, arm := figures.Fig1(quick)
+		b.ReportMetric(x86.Tput[0][1], "x86-near-pair-inc/us")
+		b.ReportMetric(arm.Tput[0][1], "arm-near-pair-inc/us")
+	}
+}
+
+// BenchmarkTable2Speedups regenerates the cohort-speedup table.
+func BenchmarkTable2Speedups(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := figures.Table2(quick)
+		if s, ok := f.Get("x86-measured"); ok {
+			b.ReportMetric(s.At(int(topo.Core)), "x86-core-speedup")
+			b.ReportMetric(s.At(int(topo.CacheGroup)), "x86-group-speedup")
+		}
+		if s, ok := f.Get("armv8-measured"); ok {
+			b.ReportMetric(s.At(int(topo.CacheGroup)), "arm-group-speedup")
+		}
+	}
+}
+
+// BenchmarkFig2HMCSLevels regenerates the x86 HMCS⟨2/3/4⟩ vs CLoF⟨4⟩ curves.
+func BenchmarkFig2HMCSLevels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := figures.Fig2(quick)
+		report(b, f, "hmcs<2>", 95)
+		report(b, f, "hmcs<4>", 95)
+		report(b, f, "clof<4>-x86", 95)
+	}
+}
+
+// BenchmarkFig3CohortLocks regenerates the per-cohort basic-lock comparison.
+func BenchmarkFig3CohortLocks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figs := figures.Fig3(quick)
+		for _, f := range figs {
+			if s, ok := f.Get("hem-ctr"); ok {
+				b.ReportMetric(s.At(int(topo.NUMA)), strings.TrimPrefix(f.ID, "fig3-")+"-hemctr-numa-iter/us")
+			}
+		}
+	}
+}
+
+// BenchmarkFig4ArmStateOfArt regenerates the Armv8 state-of-the-art curves.
+func BenchmarkFig4ArmStateOfArt(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := figures.Fig4(quick)
+		report(b, f, "clof<4>-arm", 127)
+		report(b, f, "hmcs<4>", 127)
+		report(b, f, "cna", 127)
+	}
+}
+
+// BenchmarkFig9Compositions runs one composition sweep (Armv8, 3-level) with
+// both selection policies — the scripted benchmark of §4.3.
+func BenchmarkFig9Compositions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := figures.Fig9Panel(figures.Arm(), 3, quick)
+		b.ReportMetric(res.Selection.HCBest.Score(clof.HighContention), "hc-best-score")
+		b.ReportMetric(res.Selection.LCBest.Score(clof.LowContention), "lc-best-score")
+	}
+}
+
+// BenchmarkFig10BestLocks regenerates the LevelDB+Kyoto cross-validation.
+func BenchmarkFig10BestLocks(b *testing.B) {
+	o := quick
+	o.Runs = 1
+	for i := 0; i < b.N; i++ {
+		figs := figures.Fig10(o)
+		for _, f := range figs {
+			if !strings.Contains(f.ID, "leveldb-armv8") {
+				continue
+			}
+			report(b, f, "clof<4>-arm", 127)
+			report(b, f, "cna", 127)
+		}
+	}
+}
+
+// BenchmarkFairness regenerates the §5.2.3 Jain-index comparison.
+func BenchmarkFairness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := figures.Fairness(quick)
+		if s, ok := f.Get("clof<4>-armv8"); ok && len(s.Y) > 0 {
+			b.ReportMetric(s.Y[len(s.Y)-1], "clof-jain")
+		}
+		if s, ok := f.Get("hmcs<4>-armv8"); ok && len(s.Y) > 0 {
+			b.ReportMetric(s.Y[len(s.Y)-1], "hmcs-jain")
+		}
+	}
+}
+
+// BenchmarkAblationKeepLocal sweeps the keep_local threshold H.
+func BenchmarkAblationKeepLocal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := figures.AblationKeepLocal(quick)
+		if s, ok := f.Get("throughput"); ok {
+			b.ReportMetric(s.At(1), "H1-iter/us")
+			b.ReportMetric(s.At(128), "H128-iter/us")
+		}
+	}
+}
+
+// BenchmarkAblationHasWaiters compares custom has_waiters vs the counter.
+func BenchmarkAblationHasWaiters(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := figures.AblationHasWaiters(quick)
+		if s, ok := f.Get("custom-detector"); ok {
+			b.ReportMetric(s.At(95), "custom-iter/us")
+		}
+		if s, ok := f.Get("waiters-counter"); ok {
+			b.ReportMetric(s.At(95), "counter-iter/us")
+		}
+	}
+}
+
+// BenchmarkAblationFastPath measures the §6 TAS fast-path extension.
+func BenchmarkAblationFastPath(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := figures.AblationFastPath(quick)
+		if s, ok := f.Get("plain"); ok {
+			b.ReportMetric(s.At(1), "plain-1t-iter/us")
+		}
+		if s, ok := f.Get("tas-fastpath"); ok {
+			b.ReportMetric(s.At(1), "fast-1t-iter/us")
+		}
+	}
+}
+
+// BenchmarkBigLittle measures the §7 asymmetric-SoC experiment.
+func BenchmarkBigLittle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := figures.BigLittle(quick)
+		report(b, f, "mcs", 8)
+		report(b, f, "clof tkt-tkt", 8)
+	}
+}
+
+// BenchmarkSimulatedLevelDB measures the simulated LevelDB preset per lock
+// at full contention — the per-lock core numbers behind Figs. 2/4.
+func BenchmarkSimulatedLevelDB(b *testing.B) {
+	m := topo.Armv8Server()
+	h := topo.ArmHierarchy4()
+	for _, e := range []struct {
+		name string
+		mk   workload.LockFactory
+	}{
+		{"mcs", func() clof.Lock { return locks.NewMCS() }},
+		{"clof4", func() clof.Lock { return clof.MustNewLock(h, "tkt-clh-tkt-tkt") }},
+		{"cna", func() clof.Lock { return clof.NewCNA(m) }},
+	} {
+		e := e
+		b.Run(e.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := workload.Run(e.mk, workload.LevelDB(m, 64))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.ThroughputOpsPerUs(), "iter/us")
+			}
+		})
+	}
+}
+
+// BenchmarkNativeLocks measures raw goroutine-level acquire/release pairs of
+// every lock on the host — honest native numbers (see DESIGN.md §1 on why
+// the paper's figures use the simulator instead).
+func BenchmarkNativeLocks(b *testing.B) {
+	for _, name := range []string{"tkt", "mcs", "clh", "hem"} {
+		typ := locks.MustType(name)
+		b.Run(name+"/uncontended", func(b *testing.B) {
+			l := typ.New()
+			ctx := l.NewCtx()
+			p := clof.NewNativeProc(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l.Acquire(p, ctx)
+				l.Release(p, ctx)
+			}
+		})
+		b.Run(name+"/contended4", func(b *testing.B) {
+			l := typ.New()
+			const workers = 4
+			ctxs := make([]clof.Ctx, workers)
+			for i := range ctxs {
+				ctxs[i] = l.NewCtx()
+			}
+			var wg sync.WaitGroup
+			per := b.N/workers + 1
+			b.ResetTimer()
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					p := clof.NewNativeProc(id)
+					for i := 0; i < per; i++ {
+						l.Acquire(p, ctxs[id])
+						l.Release(p, ctxs[id])
+					}
+				}(w)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkNativeCLoFLock measures the composed lock natively.
+func BenchmarkNativeCLoFLock(b *testing.B) {
+	h := topo.X86Hierarchy3()
+	l := clof.MustNewLock(h, "tkt-mcs-mcs")
+	ctx := l.NewCtx()
+	p := clof.NewNativeProc(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Acquire(p, ctx)
+		l.Release(p, ctx)
+	}
+}
+
+// report attaches one curve point as a metric named after its series
+// (whitespace is not allowed in metric units).
+func report(b *testing.B, f *figures.Figure, prefix string, x int) {
+	b.Helper()
+	unit := strings.ReplaceAll(prefix, " ", "_") + "-iter/us"
+	for _, s := range f.Series {
+		if strings.HasPrefix(s.Name, prefix) {
+			b.ReportMetric(s.At(x), unit)
+			return
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package clof_test
+
+import (
+	"sync"
+	"testing"
+
+	clof "github.com/clof-go/clof"
+)
+
+// TestPublicAPIQuickstart exercises the facade end to end the way the
+// README's quickstart does: build a lock from paper notation and use it
+// from goroutines.
+func TestPublicAPIQuickstart(t *testing.T) {
+	h := clof.ArmHierarchy4()
+	lock := clof.MustNewLock(h, "tkt-clh-tkt-tkt")
+	if lock.Name() != "tkt-clh-tkt-tkt" {
+		t.Fatalf("Name = %q", lock.Name())
+	}
+
+	const workers, iters = 8, 1000
+	cpus, err := clof.Placement(h.Machine, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxs := make([]clof.Ctx, workers)
+	for i := range ctxs {
+		ctxs[i] = lock.NewCtx()
+	}
+	var counter int
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := clof.NewNativeProc(cpus[id])
+			for i := 0; i < iters; i++ {
+				lock.Acquire(p, ctxs[id])
+				counter++
+				lock.Release(p, ctxs[id])
+			}
+		}(w)
+	}
+	wg.Wait()
+	if counter != workers*iters {
+		t.Fatalf("counter = %d, want %d", counter, workers*iters)
+	}
+}
+
+func TestPublicAPIDiscoveryAndSelection(t *testing.T) {
+	m := clof.Armv8Server()
+	h, err := clof.DetectHierarchy(m, 30_000, 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Depth() != 4 {
+		t.Fatalf("detected depth %d, want 4", h.Depth())
+	}
+	comps := clof.Generate(clof.BasicLocks(clof.ArmV8), 2)
+	if len(comps) != 16 {
+		t.Fatalf("Generate(4 basics, 2 levels) = %d", len(comps))
+	}
+	sp := clof.Speedups(m, 30_000)
+	if sp[clof.CacheGroup] <= sp[clof.NUMA] {
+		t.Error("cache-group speedup not above numa speedup")
+	}
+}
+
+func TestPublicAPIBaselines(t *testing.T) {
+	m := clof.X86Server()
+	h := clof.X86Hierarchy4()
+	hm, err := clof.NewHMCS(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tkt, _ := clof.LockTypeByName("tkt")
+	mcs, _ := clof.LockTypeByName("mcs")
+	co, err := clof.NewCohortLock(m, clof.NUMA, tkt, mcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range []clof.Lock{hm, clof.NewCNA(m), clof.NewShflLock(m), co} {
+		ctx := l.NewCtx()
+		p := clof.NewNativeProc(0)
+		l.Acquire(p, ctx)
+		l.Release(p, ctx)
+	}
+}
+
+func TestPublicAPISimulation(t *testing.T) {
+	m := clof.Armv8Server()
+	res, err := clof.RunWorkload(
+		func() clof.Lock { return clof.MustNewLock(clof.ArmHierarchy3(), "tkt-clh-tkt") },
+		clof.LevelDBWorkload(m, 16),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total == 0 || res.ExclusionViolations != 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+}
+
+func TestPublicAPIVerification(t *testing.T) {
+	tkt, _ := clof.LockTypeByName("tkt")
+	prog := clof.LockCheckProgram("tkt", 2, 1, tkt.New)
+	res := clof.Check(prog, clof.CheckConfig{Mode: clof.ModelSC})
+	if !res.OK {
+		t.Fatalf("verification failed: %s", res.Violation)
+	}
+	if res.States == 0 {
+		t.Error("no states explored")
+	}
+}

@@ -1,0 +1,136 @@
+// clof-bench is the paper's scripted benchmark (§4.3, the last boxes of the
+// Fig. 5 workflow): given a platform (or a hierarchy configuration file) it
+// generates every composition of the basic locks, measures each across the
+// contention grid on the simulated LevelDB workload, and reports the
+// HC-best, LC-best and worst locks under both selection policies.
+//
+// Usage:
+//
+//	clof-bench [-platform x86|armv8] [-hier FILE] [-levels 3|4] [-threads CSV] [-runs N] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/clof-go/clof/internal/clof"
+	"github.com/clof-go/clof/internal/figures"
+	"github.com/clof-go/clof/internal/lockapi"
+	"github.com/clof-go/clof/internal/locks"
+	"github.com/clof-go/clof/internal/topo"
+	"github.com/clof-go/clof/internal/workload"
+)
+
+func main() {
+	platform := flag.String("platform", "armv8", "simulated platform: x86 or armv8")
+	hierFile := flag.String("hier", "", "hierarchy configuration file (from clof-hier); overrides -platform/-levels")
+	levels := flag.Int("levels", 4, "hierarchy depth when no -hier file is given (3 or 4)")
+	threadsCSV := flag.String("threads", "", "comma-separated contention grid (default: the paper's grid)")
+	runs := flag.Int("runs", 1, "runs per measurement point (median)")
+	preselect := flag.Int("preselect", 0, "keep only the K best basic locks per level before the sweep (footnote 5; 0 = full N^M)")
+	verbose := flag.Bool("v", false, "print every composition's scores")
+	flag.Parse()
+
+	var h *topo.Hierarchy
+	switch {
+	case *hierFile != "":
+		b, err := os.ReadFile(*hierFile)
+		if err != nil {
+			fatal(err)
+		}
+		h = &topo.Hierarchy{}
+		if err := h.UnmarshalText(b); err != nil {
+			fatal(err)
+		}
+	case *platform == "x86" && *levels == 4:
+		h = topo.X86Hierarchy4()
+	case *platform == "x86":
+		h = topo.X86Hierarchy3()
+	case *levels == 4:
+		h = topo.ArmHierarchy4()
+	default:
+		h = topo.ArmHierarchy3()
+	}
+	m := h.Machine
+
+	grid := []int{1, 4, 8, 16, 24, 32, 48, 64, m.NumCPUs() - 1}
+	if *threadsCSV != "" {
+		grid = nil
+		for _, s := range strings.Split(*threadsCSV, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fatal(err)
+			}
+			grid = append(grid, n)
+		}
+	}
+
+	basics := locks.BasicLocks(m.Arch)
+	var comps []clof.Composition
+	if *preselect > 0 {
+		fmt.Fprintf(os.Stderr, "pre-selection: scoring basic locks per level (footnote 5)\n")
+		scorer := figures.CohortScorer(m, figures.Options{Runs: *runs})
+		comps = clof.Preselect(basics, h, *preselect, scorer)
+	} else {
+		comps = clof.Generate(basics, h.Depth())
+	}
+	fmt.Printf("scripted benchmark: %s, %d compositions, grid %v\n", h, len(comps), grid)
+
+	done := 0
+	bench := func(comp clof.Composition, threads int) float64 {
+		cfg := workload.LevelDB(m, threads)
+		var sum float64
+		for r := 0; r < *runs; r++ {
+			cfg.Seed = uint64(r) * 2654435761
+			res, err := workload.Run(func() lockapi.Lock { return clof.Must(h, comp) }, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			sum += res.ThroughputOpsPerUs()
+		}
+		done++
+		if done%64 == 0 {
+			fmt.Fprintf(os.Stderr, "  %d/%d measurements\n", done, len(comps)*len(grid))
+		}
+		return sum / float64(*runs)
+	}
+	ms := clof.RunScripted(comps, grid, bench)
+	sel, err := clof.Select(ms)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *verbose {
+		fmt.Println("\nall compositions (HC-ranked):")
+		for _, mm := range sel.All {
+			fmt.Printf("  %-20s HC=%.3f LC=%.3f\n", mm.Comp, mm.Score(clof.HighContention), mm.Score(clof.LowContention))
+		}
+	}
+	fmt.Printf("\nHC-best: %-20s (weighted score %.3f)\n", sel.HCBest.Comp, sel.HCBest.Score(clof.HighContention))
+	fmt.Printf("LC-best: %-20s (weighted score %.3f)\n", sel.LCBest.Comp, sel.LCBest.Score(clof.LowContention))
+	fmt.Printf("worst:   %-20s\n", sel.Worst.Comp)
+	fmt.Println("\nthroughput (iter/us) of the selected locks:")
+	fmt.Printf("%-10s", "threads")
+	for _, n := range grid {
+		fmt.Printf("%8d", n)
+	}
+	fmt.Println()
+	for _, e := range []struct {
+		name string
+		m    clof.Measurement
+	}{{"HC-best", sel.HCBest}, {"LC-best", sel.LCBest}, {"worst", sel.Worst}} {
+		fmt.Printf("%-10s", e.name)
+		for _, pt := range e.m.Points {
+			fmt.Printf("%8.3f", pt.Throughput)
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "clof-bench:", err)
+	os.Exit(1)
+}

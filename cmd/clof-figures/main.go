@@ -1,0 +1,147 @@
+// clof-figures regenerates the paper's tables and figures on the NUMA
+// simulator and writes them as CSV (plus ASCII summaries on stderr).
+//
+// Usage:
+//
+//	clof-figures [-exp all|table1|fig1|table2|fig2|fig3|fig4|fig9|fig10|fairness|ablations|verify] \
+//	             [-out DIR] [-quick] [-runs N]
+//
+// Every run is deterministic; see EXPERIMENTS.md for the recorded
+// paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/clof-go/clof/internal/figures"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (all, table1, fig1, table2, fig2, fig3, fig4, fig9, fig10, fairness, ablations, biglittle, verify, hier)")
+	out := flag.String("out", "figures-out", "output directory for CSV files")
+	quickFlag := flag.Bool("quick", false, "reduced grids and horizons (smoke run)")
+	runs := flag.Int("runs", 0, "repetitions per point (0 = experiment default)")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	flag.Parse()
+
+	o := figures.Options{Quick: *quickFlag, Runs: *runs}
+	if !*quiet {
+		o.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  "+s) }
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	emit := func(f *figures.Figure) {
+		path := filepath.Join(*out, f.ID+".csv")
+		file, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := f.WriteCSV(file); err != nil {
+			fatal(err)
+		}
+		file.Close()
+		if err := f.WriteASCII(os.Stderr); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+
+	if want("table1") {
+		ran = true
+		emit(figures.Table1())
+	}
+	if want("fig1") {
+		ran = true
+		x86, arm := figures.Fig1(o)
+		for name, hm := range map[string]string{"fig1a-x86": x86.ASCII(), "fig1b-armv8": arm.ASCII()} {
+			path := filepath.Join(*out, name+".txt")
+			if err := os.WriteFile(path, []byte(hm), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+	if want("table2") {
+		ran = true
+		emit(figures.Table2(o))
+	}
+	if want("hier") {
+		ran = true
+		for _, h := range figures.DetectedHierarchies(o) {
+			fmt.Println("detected hierarchy:", h)
+		}
+	}
+	if want("fig2") {
+		ran = true
+		emit(figures.Fig2(o))
+	}
+	if want("fig3") {
+		ran = true
+		for _, f := range figures.Fig3(o) {
+			emit(f)
+		}
+	}
+	if want("fig4") {
+		ran = true
+		emit(figures.Fig4(o))
+	}
+	if want("fig9") {
+		ran = true
+		for _, r := range figures.Fig9(o) {
+			emit(r.Figure)
+			fmt.Printf("%s: HC-best=%s LC-best=%s worst=%s\n",
+				r.Figure.ID, r.Selection.HCBest.Comp, r.Selection.LCBest.Comp, r.Selection.Worst.Comp)
+		}
+	}
+	if want("fig10") {
+		ran = true
+		for _, f := range figures.Fig10(o) {
+			emit(f)
+		}
+	}
+	if want("fairness") {
+		ran = true
+		emit(figures.Fairness(o))
+	}
+	if want("ablations") {
+		ran = true
+		emit(figures.AblationKeepLocal(o))
+		emit(figures.AblationHasWaiters(o))
+		emit(figures.AblationFastPath(o))
+		emit(figures.CompositionAnalysis(o))
+	}
+	if want("biglittle") {
+		ran = true
+		emit(figures.BigLittle(o))
+	}
+	if want("verify") {
+		ran = true
+		fmt.Println("verification table (see also cmd/clof-verify):")
+		for _, r := range figures.VerificationTable(o) {
+			status := "OK"
+			if !r.Result.OK {
+				status = "VIOLATION: " + r.Result.Violation
+			}
+			fmt.Printf("  %-34s %-4s states=%-8d execs=%-8d %8s  %s\n",
+				r.Program, r.Mode, r.Result.States, r.Result.Executions,
+				r.Elapsed.Round(1000000).String(), status)
+		}
+	}
+	if !ran {
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "clof-figures:", strings.TrimSpace(err.Error()))
+	os.Exit(1)
+}

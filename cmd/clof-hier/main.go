@@ -1,0 +1,74 @@
+// clof-hier runs the paper's §3.1 hierarchy discovery on a simulated
+// platform: it measures the pairwise ping-pong heatmap (Fig. 1), prints the
+// Table 2 cohort speedups, and emits a hierarchy configuration file for the
+// lock generator — the first box of the paper's Fig. 5 workflow.
+//
+// Usage:
+//
+//	clof-hier [-platform x86|armv8] [-o hierarchy.json] [-heatmap] [-stride N] [-threshold F]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/clof-go/clof/internal/discover"
+	"github.com/clof-go/clof/internal/topo"
+)
+
+func main() {
+	platform := flag.String("platform", "armv8", "simulated platform: x86 or armv8")
+	out := flag.String("o", "", "write the detected hierarchy configuration JSON to this file")
+	heatmap := flag.Bool("heatmap", false, "print the ASCII heatmap (Fig. 1)")
+	stride := flag.Int("stride", 2, "heatmap CPU sampling stride")
+	threshold := flag.Float64("threshold", 1.25, "level-keeping speedup threshold (tuning point)")
+	horizon := flag.Int64("horizon", discover.DefaultHorizon, "per-pair virtual duration (ns)")
+	flag.Parse()
+
+	var m *topo.Machine
+	switch *platform {
+	case "x86":
+		m = topo.X86Server()
+	case "armv8", "arm":
+		m = topo.Armv8Server()
+	default:
+		fmt.Fprintf(os.Stderr, "clof-hier: unknown platform %q\n", *platform)
+		os.Exit(1)
+	}
+
+	if *heatmap {
+		fmt.Printf("heatmap of %s (stride %d, darker = higher throughput):\n", m.Name, *stride)
+		fmt.Print(discover.Measure(m, *horizon, *stride).ASCII())
+	}
+
+	fmt.Printf("cohort speedups over the system cohort (%s):\n", m.Name)
+	sp := discover.Speedups(m, *horizon)
+	levels := make([]topo.Level, 0, len(sp))
+	for lvl := range sp {
+		levels = append(levels, lvl)
+	}
+	sort.Slice(levels, func(i, j int) bool { return levels[i] < levels[j] })
+	for _, lvl := range levels {
+		fmt.Printf("  %-12s %6.2f\n", lvl, sp[lvl])
+	}
+
+	h, err := discover.DetectHierarchy(m, *horizon, *threshold)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clof-hier:", err)
+		os.Exit(1)
+	}
+	fmt.Println("detected hierarchy:", h)
+	if *out != "" {
+		b, err := h.MarshalText()
+		if err == nil {
+			err = os.WriteFile(*out, b, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clof-hier:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *out)
+	}
+}

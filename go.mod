@@ -1,0 +1,3 @@
+module github.com/clof-go/clof
+
+go 1.22

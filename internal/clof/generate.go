@@ -1,0 +1,41 @@
+package clof
+
+import (
+	"github.com/clof-go/clof/internal/locks"
+)
+
+// Generate enumerates every composition of the given basic locks over
+// `levels` hierarchy levels — the paper's exhaustive N^M generation (§4.3).
+// The order is deterministic: the last level (system) varies slowest, so
+// compositions sharing a system lock are adjacent.
+func Generate(basics []locks.Type, levels int) []Composition {
+	if levels <= 0 || len(basics) == 0 {
+		return nil
+	}
+	n := len(basics)
+	total := 1
+	for i := 0; i < levels; i++ {
+		total *= n
+	}
+	out := make([]Composition, 0, total)
+	idx := make([]int, levels)
+	for {
+		comp := make(Composition, levels)
+		for i, j := range idx {
+			comp[i] = basics[j]
+		}
+		out = append(out, comp)
+		// Odometer increment, lowest level fastest.
+		k := 0
+		for ; k < levels; k++ {
+			idx[k]++
+			if idx[k] < n {
+				break
+			}
+			idx[k] = 0
+		}
+		if k == levels {
+			return out
+		}
+	}
+}

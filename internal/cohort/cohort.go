@@ -1,0 +1,75 @@
+// Package cohort implements classic two-level lock cohorting after Dice,
+// Marathe and Shavit (PPoPP'12): a global lock G plus one local lock per
+// NUMA cohort, where the local releaser may pass ownership of G within its
+// cohort. It exists as the paper's §2.3 baseline and to demonstrate that
+// CLoF strictly generalizes cohorting: a cohort lock *is* a 2-level CLoF
+// composition, which is exactly how this package builds it.
+//
+// The classic named variants are provided: C-BO-MCS (global backoff, local
+// MCS — fast but unfair, as the cohorting paper concedes) and C-TKT-TKT
+// (global and local ticket locks — fair).
+package cohort
+
+import (
+	"fmt"
+
+	"github.com/clof-go/clof/internal/clof"
+	"github.com/clof-go/clof/internal/lockapi"
+	"github.com/clof-go/clof/internal/locks"
+	"github.com/clof-go/clof/internal/topo"
+)
+
+// Lock is a two-level cohort lock over the NUMA and system levels.
+type Lock struct {
+	*clof.Lock
+	global, local locks.Type
+}
+
+// New builds a cohort lock C-<global>-<local> on machine m, with local
+// cohorts at the given level (the classic construction uses topo.NUMA).
+func New(m *topo.Machine, level topo.Level, global, local locks.Type) (*Lock, error) {
+	h, err := topo.NewHierarchy(m, level, topo.System)
+	if err != nil {
+		return nil, err
+	}
+	// Composition order is low→high: the local lock sits at `level`, the
+	// global lock at the system level.
+	inner, err := clof.New(h, clof.Composition{local, global})
+	if err != nil {
+		return nil, err
+	}
+	return &Lock{Lock: inner, global: global, local: local}, nil
+}
+
+// Must is New that panics on error.
+func Must(m *topo.Machine, level topo.Level, global, local locks.Type) *Lock {
+	l, err := New(m, level, global, local)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// NewBOMCS returns C-BO-MCS: global backoff lock, local MCS locks. Unfair
+// (the backoff lock admits cohorts in arbitrary order).
+func NewBOMCS(m *topo.Machine) *Lock {
+	return Must(m, topo.NUMA, locks.MustType("bo"), locks.MustType("mcs"))
+}
+
+// NewTKTTKT returns C-TKT-TKT: ticket locks at both levels. Fair.
+func NewTKTTKT(m *topo.Machine) *Lock {
+	return Must(m, topo.NUMA, locks.MustType("tkt"), locks.MustType("tkt"))
+}
+
+// NewMCSMCS returns C-MCS-MCS, the level-homogeneous baseline the cohorting
+// paper compares against.
+func NewMCSMCS(m *topo.Machine) *Lock {
+	return Must(m, topo.NUMA, locks.MustType("mcs"), locks.MustType("mcs"))
+}
+
+// Name returns the classic C-<GLOBAL>-<LOCAL> notation.
+func (l *Lock) Name() string {
+	return fmt.Sprintf("C-%s-%s", l.global.Name, l.local.Name)
+}
+
+var _ lockapi.Lock = (*Lock)(nil)

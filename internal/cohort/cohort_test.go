@@ -1,0 +1,74 @@
+package cohort
+
+import (
+	"testing"
+
+	"github.com/clof-go/clof/internal/lockapi"
+	"github.com/clof-go/clof/internal/locks"
+	"github.com/clof-go/clof/internal/locktest"
+	"github.com/clof-go/clof/internal/topo"
+)
+
+func TestNativeMutualExclusion(t *testing.T) {
+	m := topo.X86Server()
+	for _, l := range []*Lock{NewBOMCS(m), NewTKTTKT(m), NewMCSMCS(m)} {
+		t.Run(l.Name(), func(t *testing.T) {
+			locktest.NativeStress(t, l, m, 12, 2000)
+		})
+	}
+}
+
+func TestNames(t *testing.T) {
+	m := topo.Armv8Server()
+	want := map[string]*Lock{
+		"C-bo-mcs":  NewBOMCS(m),
+		"C-tkt-tkt": NewTKTTKT(m),
+		"C-mcs-mcs": NewMCSMCS(m),
+	}
+	for name, l := range want {
+		if l.Name() != name {
+			t.Errorf("Name = %q, want %q", l.Name(), name)
+		}
+	}
+}
+
+// TestFairnessMatchesComposition: C-BO-MCS is unfair (the cohorting paper's
+// own caveat); C-TKT-TKT is fair. CLoF's Theorem 4.1 applied to 2 levels.
+func TestFairnessMatchesComposition(t *testing.T) {
+	m := topo.X86Server()
+	if lockapi.Fair(NewBOMCS(m)) {
+		t.Error("C-BO-MCS must be unfair (backoff global lock)")
+	}
+	if !lockapi.Fair(NewTKTTKT(m)) {
+		t.Error("C-TKT-TKT must be fair")
+	}
+}
+
+// TestCohortNUMALocality: a cohort lock keeps handovers NUMA-local.
+func TestCohortNUMALocality(t *testing.T) {
+	m := topo.Armv8Server()
+	res := locktest.SimRun(t, func() lockapi.Lock { return NewMCSMCS(m) }, locktest.SimConfig{
+		Machine: m, Threads: 64, Horizon: 300_000, CSWork: 80, NCSWork: 120,
+	})
+	var local, total uint64
+	for lvl, c := range res.HandoverLevels {
+		total += c
+		if topo.Level(lvl) <= topo.NUMA {
+			local += c
+		}
+	}
+	if total == 0 {
+		t.Fatal("no handovers")
+	}
+	if f := float64(local) / float64(total); f < 0.8 {
+		t.Errorf("cohort numa-local handover fraction %.2f, want > 0.8", f)
+	}
+}
+
+func TestNewRejectsBadLevel(t *testing.T) {
+	m := topo.X86Server()
+	tkt := locks.MustType("tkt")
+	if _, err := New(m, topo.System, tkt, tkt); err == nil {
+		t.Error("System as the local level must be rejected (duplicate levels)")
+	}
+}

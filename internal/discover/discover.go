@@ -1,0 +1,135 @@
+// Package discover implements the paper's §3.1 experimental hierarchy
+// discovery: run the two-thread ping-pong counter over CPU pairs, render
+// the Fig. 1 heatmap, compute the Table 2 cohort speedups, and derive a
+// hierarchy configuration (the paper notes the manual heatmap reading "can
+// be easily automated" — DetectHierarchy is that automation).
+package discover
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/clof-go/clof/internal/topo"
+	"github.com/clof-go/clof/internal/workload"
+)
+
+// DefaultHorizon is the per-pair virtual measurement duration. The paper
+// uses 1s wall time; 100µs of simulated time is statistically equivalent
+// here because the simulator is noise-free.
+const DefaultHorizon = 100_000
+
+// Row measures ping-pong throughput of `base` against every CPU.
+func Row(m *topo.Machine, base int, horizon int64) []float64 {
+	row := make([]float64, m.NumCPUs())
+	for j := range row {
+		row[j] = workload.PingPong(m, base, j, horizon)
+	}
+	return row
+}
+
+// Heatmap measures the full Fig. 1 matrix, sampling every stride-th CPU on
+// both axes (stride 1 = complete; larger strides keep big machines cheap).
+// The result is indexed [i][j] over the sampled CPUs, and Cpus lists them.
+type Heatmap struct {
+	Cpus []int
+	Tput [][]float64
+}
+
+// Measure computes a heatmap.
+func Measure(m *topo.Machine, horizon int64, stride int) Heatmap {
+	if stride < 1 {
+		stride = 1
+	}
+	var cpus []int
+	for c := 0; c < m.NumCPUs(); c += stride {
+		cpus = append(cpus, c)
+	}
+	h := Heatmap{Cpus: cpus, Tput: make([][]float64, len(cpus))}
+	for i, a := range cpus {
+		h.Tput[i] = make([]float64, len(cpus))
+		for j, b := range cpus {
+			if j < i {
+				h.Tput[i][j] = h.Tput[j][i] // symmetric
+				continue
+			}
+			h.Tput[i][j] = workload.PingPong(m, a, b, horizon)
+		}
+	}
+	return h
+}
+
+// ASCII renders the heatmap with intensity characters (darker = higher
+// throughput), mirroring Fig. 1's visual.
+func (h Heatmap) ASCII() string {
+	max := 0.0
+	for _, row := range h.Tput {
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	shades := []byte(" .:-=+*#%@")
+	var b strings.Builder
+	for i, row := range h.Tput {
+		fmt.Fprintf(&b, "%4d ", h.Cpus[i])
+		for _, v := range row {
+			idx := 0
+			if max > 0 {
+				idx = int(v / max * float64(len(shades)-1))
+			}
+			b.WriteByte(shades[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Speedups computes the Table 2 numbers: for each hierarchy level, the
+// average ping-pong throughput of CPU pairs sharing exactly that level,
+// normalized to the system-level (cross-package) pairs.
+func Speedups(m *topo.Machine, horizon int64) map[topo.Level]float64 {
+	row := Row(m, 0, horizon)
+	sums := map[topo.Level]float64{}
+	counts := map[topo.Level]int{}
+	for j := 1; j < len(row); j++ {
+		lvl := m.ShareLevel(0, j)
+		sums[lvl] += row[j]
+		counts[lvl]++
+	}
+	base := sums[topo.System] / float64(counts[topo.System])
+	out := map[topo.Level]float64{}
+	for lvl, s := range sums {
+		if counts[lvl] == 0 || base == 0 {
+			continue
+		}
+		out[lvl] = (s / float64(counts[lvl])) / base
+	}
+	return out
+}
+
+// DetectHierarchy derives a hierarchy configuration from measurements: a
+// level is kept when its cohort speedup exceeds the next coarser kept
+// level's by at least `threshold` (levels whose latency is
+// indistinguishable from the level above add lock overhead without
+// locality, §5.2.1). The system level is always kept. threshold <= 1
+// defaults to 1.25.
+func DetectHierarchy(m *topo.Machine, horizon int64, threshold float64) (*topo.Hierarchy, error) {
+	if threshold <= 1 {
+		threshold = 1.25
+	}
+	sp := Speedups(m, horizon)
+	levels := []topo.Level{topo.System}
+	lastKept := 1.0 // system speedup is 1 by definition
+	for lvl := topo.Package; lvl >= topo.Core; lvl-- {
+		s, ok := sp[lvl]
+		if !ok {
+			continue // degenerate level on this machine (no such pairs)
+		}
+		if s >= lastKept*threshold {
+			levels = append([]topo.Level{lvl}, levels...)
+			lastKept = s
+		}
+	}
+	return topo.NewHierarchy(m, levels...)
+}

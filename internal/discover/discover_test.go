@@ -1,0 +1,110 @@
+package discover
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/clof-go/clof/internal/topo"
+)
+
+const testHorizon = 40_000 // short but stable: the simulator is noise-free
+
+func TestSpeedupsMatchTable2(t *testing.T) {
+	check := func(name string, got, want float64) {
+		t.Helper()
+		if got < want*0.75 || got > want*1.25 {
+			t.Errorf("%s: speedup %.2f, want %.2f ±25%%", name, got, want)
+		}
+	}
+	x := Speedups(topo.X86Server(), testHorizon)
+	check("x86 core", x[topo.Core], 12.18)
+	check("x86 cache-group", x[topo.CacheGroup], 9.07)
+	check("x86 numa", x[topo.NUMA], 1.54)
+
+	a := Speedups(topo.Armv8Server(), testHorizon)
+	check("armv8 cache-group", a[topo.CacheGroup], 7.04)
+	check("armv8 numa", a[topo.NUMA], 2.98)
+	check("armv8 package", a[topo.Package], 1.76)
+}
+
+func TestDetectHierarchyX86(t *testing.T) {
+	h, err := DetectHierarchy(topo.X86Server(), testHorizon, 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper's 4-level x86 config: core, cache-group, numa, system (the
+	// package level coincides with NUMA on this machine — no Package pairs
+	// distinct from NUMA exist, so it cannot and must not appear).
+	want := "x86-epyc7352-2s[core,cache-group,numa,system]"
+	if h.String() != want {
+		t.Errorf("detected %s, want %s", h, want)
+	}
+}
+
+func TestDetectHierarchyArmv8(t *testing.T) {
+	h, err := DetectHierarchy(topo.Armv8Server(), testHorizon, 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper's 4-level Armv8 config (no core level: no SMT).
+	want := "armv8-kunpeng920-2s[cache-group,numa,package,system]"
+	if h.String() != want {
+		t.Errorf("detected %s, want %s", h, want)
+	}
+}
+
+func TestDetectHierarchyHighThreshold(t *testing.T) {
+	// A 2.0 threshold must drop Armv8's package level (1.76 over system)
+	// — the paper's 3-level tuning rationale (§5.2.1).
+	h, err := DetectHierarchy(topo.Armv8Server(), testHorizon, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range h.Levels {
+		if l == topo.Package {
+			t.Errorf("package level kept despite thin speedup: %s", h)
+		}
+	}
+}
+
+func TestHeatmapStructure(t *testing.T) {
+	m := topo.Armv8Server()
+	h := Measure(m, testHorizon, 16) // sampled: cpus 0,16,...,112
+	if len(h.Cpus) != 8 || len(h.Tput) != 8 {
+		t.Fatalf("unexpected sample size %d", len(h.Cpus))
+	}
+	// Symmetry and zero diagonal.
+	for i := range h.Tput {
+		if h.Tput[i][i] != 0 {
+			t.Errorf("diagonal [%d][%d] = %f, want 0", i, i, h.Tput[i][i])
+		}
+		for j := range h.Tput {
+			if h.Tput[i][j] != h.Tput[j][i] {
+				t.Errorf("heatmap not symmetric at %d,%d", i, j)
+			}
+		}
+	}
+	// Same-package pairs (cpu 0 vs 16: same NUMA) must beat cross-package
+	// (cpu 0 vs 112... index 0 vs 7).
+	if h.Tput[0][1] <= h.Tput[0][7] {
+		t.Errorf("intra-numa (%f) not above cross-package (%f)", h.Tput[0][1], h.Tput[0][7])
+	}
+	art := h.ASCII()
+	if !strings.Contains(art, "\n") || len(art) < 60 {
+		t.Errorf("ASCII rendering too small:\n%s", art)
+	}
+}
+
+func TestRowLength(t *testing.T) {
+	m := topo.X86Server()
+	row := Row(m, 0, 20_000)
+	if len(row) != 96 {
+		t.Fatalf("row length %d", len(row))
+	}
+	if row[0] != 0 {
+		t.Error("self-pair must be 0")
+	}
+	if row[1] <= row[48] {
+		t.Error("hyperthread sibling not faster than cross-package")
+	}
+}

@@ -1,0 +1,97 @@
+// Package eventq implements the time-ordered event queue at the heart of the
+// discrete-event simulator: a binary min-heap ordered by (time, sequence).
+// The sequence number makes the pop order total and therefore the whole
+// simulation deterministic even when events share a timestamp.
+package eventq
+
+// Queue is a deterministic min-priority queue of values with int64
+// timestamps. The zero value is an empty, ready-to-use queue.
+type Queue[T any] struct {
+	items []entry[T]
+	seq   uint64
+}
+
+type entry[T any] struct {
+	time int64
+	seq  uint64
+	val  T
+}
+
+// Len returns the number of queued events.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Push enqueues val at the given virtual time. Events with equal times pop
+// in Push order.
+func (q *Queue[T]) Push(time int64, val T) {
+	q.seq++
+	q.items = append(q.items, entry[T]{time: time, seq: q.seq, val: val})
+	q.up(len(q.items) - 1)
+}
+
+// Min returns the earliest event's time and value without removing it.
+// The boolean is false if the queue is empty.
+func (q *Queue[T]) Min() (int64, T, bool) {
+	if len(q.items) == 0 {
+		var zero T
+		return 0, zero, false
+	}
+	e := q.items[0]
+	return e.time, e.val, true
+}
+
+// Pop removes and returns the earliest event. The boolean is false if the
+// queue is empty.
+func (q *Queue[T]) Pop() (int64, T, bool) {
+	if len(q.items) == 0 {
+		var zero T
+		return 0, zero, false
+	}
+	top := q.items[0]
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	var zero entry[T]
+	q.items[last] = zero
+	q.items = q.items[:last]
+	if len(q.items) > 0 {
+		q.down(0)
+	}
+	return top.time, top.val, true
+}
+
+func (q *Queue[T]) less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *Queue[T]) down(i int) {
+	n := len(q.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.items[i], q.items[smallest] = q.items[smallest], q.items[i]
+		i = smallest
+	}
+}

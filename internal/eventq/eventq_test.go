@@ -1,0 +1,117 @@
+package eventq
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyQueue(t *testing.T) {
+	var q Queue[int]
+	if q.Len() != 0 {
+		t.Error("new queue not empty")
+	}
+	if _, _, ok := q.Pop(); ok {
+		t.Error("Pop on empty queue returned ok")
+	}
+	if _, _, ok := q.Min(); ok {
+		t.Error("Min on empty queue returned ok")
+	}
+}
+
+func TestPopOrder(t *testing.T) {
+	var q Queue[string]
+	q.Push(30, "c")
+	q.Push(10, "a")
+	q.Push(20, "b")
+	want := []struct {
+		t int64
+		v string
+	}{{10, "a"}, {20, "b"}, {30, "c"}}
+	for _, w := range want {
+		tm, v, ok := q.Pop()
+		if !ok || tm != w.t || v != w.v {
+			t.Fatalf("Pop = (%d,%q,%v), want (%d,%q,true)", tm, v, ok, w.t, w.v)
+		}
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 100; i++ {
+		q.Push(5, i)
+	}
+	for i := 0; i < 100; i++ {
+		_, v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("tie-broken pop %d = %d", i, v)
+		}
+	}
+}
+
+func TestMinMatchesPop(t *testing.T) {
+	var q Queue[int]
+	q.Push(7, 1)
+	q.Push(3, 2)
+	mt, mv, _ := q.Min()
+	pt, pv, _ := q.Pop()
+	if mt != pt || mv != pv {
+		t.Errorf("Min (%d,%d) != Pop (%d,%d)", mt, mv, pt, pv)
+	}
+}
+
+// Property: popping everything yields times in non-decreasing order and
+// preserves the multiset of pushed times.
+func TestHeapProperty(t *testing.T) {
+	f := func(times []int64) bool {
+		var q Queue[int64]
+		for _, tm := range times {
+			q.Push(tm, tm)
+		}
+		got := make([]int64, 0, len(times))
+		prev := int64(math.MinInt64)
+		for q.Len() > 0 {
+			tm, v, ok := q.Pop()
+			if !ok || tm != v || tm < prev {
+				return false
+			}
+			prev = tm
+			got = append(got, tm)
+		}
+		sorted := append([]int64(nil), times...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		if len(got) != len(sorted) {
+			return false
+		}
+		for i := range got {
+			if got[i] != sorted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	var q Queue[int]
+	q.Push(10, 10)
+	q.Push(5, 5)
+	if _, v, _ := q.Pop(); v != 5 {
+		t.Fatal("want 5 first")
+	}
+	q.Push(1, 1)
+	q.Push(20, 20)
+	if _, v, _ := q.Pop(); v != 1 {
+		t.Fatal("want 1 after push")
+	}
+	if _, v, _ := q.Pop(); v != 10 {
+		t.Fatal("want 10")
+	}
+	if _, v, _ := q.Pop(); v != 20 {
+		t.Fatal("want 20")
+	}
+}

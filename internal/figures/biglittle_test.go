@@ -1,0 +1,35 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBigLittleShape: on the asymmetric SoC, a cluster-aware composed lock
+// must (a) not lose to the oblivious MCS at full contention, and (b) batch
+// work onto whichever cluster holds the lock — visible as a larger big-
+// cluster share than MCS's FIFO rotation gives.
+func TestBigLittleShape(t *testing.T) {
+	f := BigLittle(quick)
+	at := func(prefix string, n int) float64 {
+		for _, s := range f.Series {
+			if strings.HasPrefix(s.Name, prefix) {
+				return s.At(n)
+			}
+		}
+		t.Fatalf("series %q missing", prefix)
+		return 0
+	}
+	if at("clof tkt-tkt", 8) < 0.95*at("mcs", 8) {
+		t.Errorf("cluster-aware clof (%.3f) loses to oblivious mcs (%.3f) at 8 threads",
+			at("clof tkt-tkt", 8), at("mcs", 8))
+	}
+	if len(f.Notes) < 2 {
+		t.Fatalf("per-cluster split notes missing: %v", f.Notes)
+	}
+	for _, n := range f.Notes {
+		if !strings.Contains(n, "big cluster") {
+			t.Errorf("malformed note: %s", n)
+		}
+	}
+}

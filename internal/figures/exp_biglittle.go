@@ -1,0 +1,75 @@
+package figures
+
+import (
+	"fmt"
+
+	"github.com/clof-go/clof/internal/topo"
+	"github.com/clof-go/clof/internal/workload"
+)
+
+// BigLittle is the paper's §7 future-work investigation: CLoF on an
+// asymmetric (big.LITTLE) SoC, where the two core clusters form cohorts
+// with different compute speeds. The experiment contends all 8 cores on the
+// LevelDB-shaped workload with the LITTLE cluster 3x slower and compares a
+// cluster-oblivious MCS lock against cluster-aware composed locks, also
+// reporting how throughput splits between the clusters.
+func BigLittle(o Options) *Figure {
+	m := topo.BigLittleSoC()
+	h := topo.MustHierarchy(m, topo.CacheGroup, topo.System)
+	speeds := topo.BigLittleSpeeds(m, 3.0)
+
+	f := &Figure{
+		ID:     "biglittle",
+		Title:  "big.LITTLE SoC (§7 future work): cluster-aware vs oblivious locks, LITTLE 3x slower",
+		XLabel: "threads",
+		YLabel: "iter/us",
+	}
+	grid := []int{2, 4, 8}
+	for _, e := range []struct {
+		name string
+		mk   workload.LockFactory
+	}{
+		{"mcs (cluster-oblivious)", basicFactory("mcs")},
+		{"clof tkt-tkt (cluster-aware)", clofFactory(h, "tkt-tkt")},
+		{"clof clh-tkt (cluster-aware)", clofFactory(h, "clh-tkt")},
+		{"hmcs<2>", hmcsFactory(h)},
+	} {
+		o.progress("biglittle: %s", e.name)
+		s := Series{Name: e.name}
+		for _, n := range grid {
+			cfg := o.adjust(workload.LevelDB(m, n))
+			cfg.CPUSpeed = speeds
+			s.X = append(s.X, n)
+			s.Y = append(s.Y, medianTput(e.mk, cfg, o.Runs))
+		}
+		f.Series = append(f.Series, s)
+	}
+
+	// Per-cluster throughput split at full contention for the two extremes.
+	for _, e := range []struct {
+		name string
+		mk   workload.LockFactory
+	}{
+		{"mcs", basicFactory("mcs")},
+		{"clof tkt-tkt", clofFactory(h, "tkt-tkt")},
+	} {
+		cfg := o.adjust(workload.LevelDB(m, 8))
+		cfg.CPUSpeed = speeds
+		res, err := workload.Run(e.mk, cfg)
+		if err != nil {
+			continue
+		}
+		var big, little uint64
+		for i, c := range res.PerThread {
+			if m.CohortOf(i, topo.CacheGroup) == 0 {
+				big += c
+			} else {
+				little += c
+			}
+		}
+		f.Notes = append(f.Notes, fmt.Sprintf(
+			"%s at 8 threads: big cluster %d ops, LITTLE cluster %d ops (%.0f%% big)",
+			e.name, big, little, 100*float64(big)/float64(big+little)))
+	}
+	return f
+}

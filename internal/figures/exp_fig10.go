@@ -1,0 +1,101 @@
+package figures
+
+import (
+	"github.com/clof-go/clof/internal/topo"
+	"github.com/clof-go/clof/internal/workload"
+)
+
+// Fig10 reproduces the cross-benchmark, cross-platform validation (paper
+// Fig. 10): on each platform and for both workloads (LevelDB, Kyoto
+// Cabinet), the LC-best CLoF locks of *both* platforms (3- and 4-level)
+// against HMCS⟨4⟩, CNA and ShflLock. Running a lock selected for the other
+// platform shows that best locks do not transfer (§5.3.1).
+//
+// Four panels: fig10-{leveldb,kyoto}-{x86,armv8}.
+func Fig10(o Options) []*Figure {
+	runs := o.Runs
+	if runs == 0 {
+		runs = 3 // the paper's #runs=3 for this experiment
+	}
+	var out []*Figure
+	for _, pl := range []Platform{X86(), Arm()} {
+		arch := pl.Machine.Arch
+		// The 3-/4-level compositions of BOTH platforms, instantiated on
+		// THIS platform's hierarchies.
+		entries := []struct {
+			name string
+			mk   workload.LockFactory
+		}{
+			{"clof<3>-x86 (" + PaperLC3X86 + ")", clofFactory(pl.H3, PaperLC3X86)},
+			{"clof<4>-x86 (" + PaperLC4X86 + ")", clofFactory(pl.H4, PaperLC4X86)},
+			{"clof<3>-arm (" + PaperLC3Arm + ")", clofFactory(pl.H3, PaperLC3Arm)},
+			{"clof<4>-arm (" + PaperLC4Arm + ")", clofFactory(pl.H4, PaperLC4Arm)},
+			{"hmcs<4>", hmcsFactory(pl.H4)},
+			{"cna", cnaFactory(pl.Machine)},
+			{"shfllock", shflFactory(pl.Machine)},
+		}
+		for _, wl := range []struct {
+			name   string
+			cfgFor func(n int) workload.Config
+		}{
+			{"leveldb", func(n int) workload.Config { return o.adjust(workload.LevelDB(pl.Machine, n)) }},
+			{"kyoto", func(n int) workload.Config { return o.adjust(workload.Kyoto(pl.Machine, n)) }},
+		} {
+			f := &Figure{
+				ID:     "fig10-" + wl.name + "-" + arch.String(),
+				Title:  wl.name + " on " + arch.String() + ": best CLoF locks vs state of the art",
+				XLabel: "threads",
+				YLabel: "iter/us",
+			}
+			grid := o.grid(pl)
+			for _, e := range entries {
+				o.progress("fig10 %s %s: %s", wl.name, arch, e.name)
+				f.Series = append(f.Series, curve(e.name, e.mk, wl.cfgFor, grid, runs))
+			}
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Fairness reproduces §5.2.3: per-thread throughput fairness (Jain index)
+// of the best CLoF locks must closely match HMCS, since both use the same
+// keep_local strategy.
+func Fairness(o Options) *Figure {
+	f := &Figure{
+		ID:     "fairness",
+		Title:  "§5.2.3: Jain fairness index, CLoF vs HMCS",
+		XLabel: "threads",
+		YLabel: "jain",
+	}
+	for _, pl := range []Platform{X86(), Arm()} {
+		comp := PaperLC4X86
+		if pl.Machine.Arch == topo.ArmV8 {
+			comp = PaperLC4Arm
+		}
+		for _, e := range []struct {
+			name string
+			mk   workload.LockFactory
+		}{
+			{"clof<4>-" + pl.Machine.Arch.String(), clofFactory(pl.H4, comp)},
+			{"hmcs<4>-" + pl.Machine.Arch.String(), hmcsFactory(pl.H4)},
+		} {
+			s := Series{Name: e.name}
+			for _, n := range o.grid(pl) {
+				if n < 8 {
+					continue // fairness is only meaningful under contention
+				}
+				cfg := o.adjust(workload.LevelDB(pl.Machine, n))
+				res, err := workload.Run(e.mk, cfg)
+				if err != nil {
+					continue
+				}
+				o.progress("fairness: %s at %d threads", e.name, n)
+				s.X = append(s.X, n)
+				s.Y = append(s.Y, res.Jain())
+			}
+			f.Series = append(f.Series, s)
+		}
+	}
+	return f
+}

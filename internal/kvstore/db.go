@@ -1,0 +1,258 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"github.com/clof-go/clof/internal/lockapi"
+)
+
+// entry is one key/value pair of a sorted run. A tombstone marks a deletion
+// that must shadow older runs until a full compaction drops it.
+type entry struct {
+	key, value []byte
+	tombstone  bool
+}
+
+// run is an immutable sorted run (the in-memory analog of an SSTable).
+type run struct {
+	entries []entry
+}
+
+// get binary-searches the run; found distinguishes "present" (possibly as a
+// tombstone) from "not in this run".
+func (r *run) get(key []byte) (e entry, found bool) {
+	i := sort.Search(len(r.entries), func(i int) bool {
+		return bytes.Compare(r.entries[i].key, key) >= 0
+	})
+	if i < len(r.entries) && bytes.Equal(r.entries[i].key, key) {
+		return r.entries[i], true
+	}
+	return entry{}, false
+}
+
+// Options configures a DB.
+type Options struct {
+	// Lock guards every DB operation (LevelDB's global DB mutex). Nil
+	// defaults to an uncontended no-op lock for single-threaded use.
+	Lock lockapi.Lock
+	// MemtableBytes is the freeze threshold (default 1 MiB).
+	MemtableBytes int
+	// MaxRuns triggers a full-merge compaction when exceeded (default 8).
+	MaxRuns int
+	// Seed seeds the skiplist height generator.
+	Seed uint64
+}
+
+// DB is a small LSM key-value store: one mutable skiplist memtable plus a
+// stack of immutable sorted runs, merged when MaxRuns is exceeded. All
+// operations acquire the configured lock, making the DB the contended
+// resource the paper's readrandom benchmark measures.
+type DB struct {
+	opts Options
+	lock lockapi.Lock
+
+	mem  *skiplist
+	runs []*run // newest first
+
+	// stats
+	gets, puts, deletes, scans, compactions uint64
+}
+
+// noopLock is the default single-threaded lock.
+type noopLock struct{}
+
+func (noopLock) NewCtx() lockapi.Ctx                   { return nil }
+func (noopLock) Acquire(p lockapi.Proc, _ lockapi.Ctx) {}
+func (noopLock) Release(p lockapi.Proc, _ lockapi.Ctx) {}
+
+// Open creates an empty DB.
+func Open(opts Options) *DB {
+	if opts.MemtableBytes == 0 {
+		opts.MemtableBytes = 1 << 20
+	}
+	if opts.MaxRuns == 0 {
+		opts.MaxRuns = 8
+	}
+	lock := opts.Lock
+	if lock == nil {
+		lock = noopLock{}
+	}
+	return &DB{opts: opts, lock: lock, mem: newSkiplist(opts.Seed)}
+}
+
+// Session is a per-worker handle carrying the lock context; every worker
+// (goroutine or simulated thread) must use its own.
+type Session struct {
+	db  *DB
+	ctx lockapi.Ctx
+}
+
+// NewSession allocates a worker session. Only safe during single-threaded
+// setup (lock contexts are registered with the lock).
+func (db *DB) NewSession() *Session {
+	return &Session{db: db, ctx: db.lock.NewCtx()}
+}
+
+// Put inserts or overwrites a key.
+func (s *Session) Put(p lockapi.Proc, key, value []byte) {
+	db := s.db
+	db.lock.Acquire(p, s.ctx)
+	db.puts++
+	db.mem.putEntry(entry{
+		key:   append([]byte(nil), key...),
+		value: append([]byte(nil), value...),
+	})
+	if db.mem.bytes >= db.opts.MemtableBytes {
+		db.freezeLocked()
+	}
+	db.lock.Release(p, s.ctx)
+}
+
+// Get fetches a key: memtable first, then runs newest-to-oldest. A
+// tombstone in a newer layer shadows older values.
+func (s *Session) Get(p lockapi.Proc, key []byte) ([]byte, bool) {
+	db := s.db
+	db.lock.Acquire(p, s.ctx)
+	db.gets++
+	var v []byte
+	var ok bool
+	if e, found := db.mem.get(key); found {
+		v, ok = e.value, !e.tombstone
+	} else {
+		for _, r := range db.runs {
+			if e, found := r.get(key); found {
+				v, ok = e.value, !e.tombstone
+				break
+			}
+		}
+	}
+	db.lock.Release(p, s.ctx)
+	return v, ok
+}
+
+// Delete removes a key by writing a tombstone (LSM deletion): the key
+// disappears from reads immediately and from storage at the next full
+// compaction.
+func (s *Session) Delete(p lockapi.Proc, key []byte) {
+	db := s.db
+	db.lock.Acquire(p, s.ctx)
+	db.deletes++
+	db.mem.putEntry(entry{key: append([]byte(nil), key...), tombstone: true})
+	if db.mem.bytes >= db.opts.MemtableBytes {
+		db.freezeLocked()
+	}
+	db.lock.Release(p, s.ctx)
+}
+
+// Scan visits every live key in [start, end) in key order, merged across
+// the memtable and all runs (newest value wins, tombstones skip). fn
+// returning false stops the scan. A nil end scans to the last key.
+func (s *Session) Scan(p lockapi.Proc, start, end []byte, fn func(key, value []byte) bool) {
+	db := s.db
+	db.lock.Acquire(p, s.ctx)
+	db.scans++
+	// Sources newest-first: memtable, then runs.
+	sources := make([][]entry, 0, len(db.runs)+1)
+	sources = append(sources, db.mem.entriesFrom(start))
+	for _, r := range db.runs {
+		i := sort.Search(len(r.entries), func(i int) bool {
+			return bytes.Compare(r.entries[i].key, start) >= 0
+		})
+		sources = append(sources, r.entries[i:])
+	}
+	pos := make([]int, len(sources))
+	for {
+		// Pick the smallest next key; the newest source wins ties.
+		best := -1
+		for si := range sources {
+			if pos[si] >= len(sources[si]) {
+				continue
+			}
+			k := sources[si][pos[si]].key
+			if end != nil && bytes.Compare(k, end) >= 0 {
+				pos[si] = len(sources[si]) // past the range
+				continue
+			}
+			if best == -1 || bytes.Compare(k, sources[best][pos[best]].key) < 0 {
+				best = si
+			}
+		}
+		if best == -1 {
+			break
+		}
+		e := sources[best][pos[best]]
+		// Consume this key from every source (older duplicates shadowed).
+		for si := range sources {
+			if pos[si] < len(sources[si]) && bytes.Equal(sources[si][pos[si]].key, e.key) {
+				pos[si]++
+			}
+		}
+		if e.tombstone {
+			continue
+		}
+		if !fn(e.key, e.value) {
+			break
+		}
+	}
+	db.lock.Release(p, s.ctx)
+}
+
+// freezeLocked turns the memtable into a run; caller holds the lock.
+func (db *DB) freezeLocked() {
+	if db.mem.n == 0 {
+		return
+	}
+	db.runs = append([]*run{{entries: db.mem.entries()}}, db.runs...)
+	db.mem = newSkiplist(db.opts.Seed + uint64(len(db.runs)))
+	if len(db.runs) > db.opts.MaxRuns {
+		db.compactLocked()
+	}
+}
+
+// compactLocked merges all runs into one (newest value wins) and drops
+// tombstones — a full compaction, so shadowed deletions are safe to forget.
+func (db *DB) compactLocked() {
+	db.compactions++
+	merged := make(map[string]entry)
+	for i := len(db.runs) - 1; i >= 0; i-- { // oldest first; newer overwrite
+		for _, e := range db.runs[i].entries {
+			merged[string(e.key)] = e
+		}
+	}
+	entries := make([]entry, 0, len(merged))
+	for _, e := range merged {
+		if e.tombstone {
+			continue
+		}
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		return bytes.Compare(entries[i].key, entries[j].key) < 0
+	})
+	db.runs = []*run{{entries: entries}}
+}
+
+// Flush freezes the current memtable (for tests and bulk loads).
+func (s *Session) Flush(p lockapi.Proc) {
+	s.db.lock.Acquire(p, s.ctx)
+	s.db.freezeLocked()
+	s.db.lock.Release(p, s.ctx)
+}
+
+// Stats returns operation counters.
+func (db *DB) Stats() (gets, puts, compactions uint64, runs int) {
+	return db.gets, db.puts, db.compactions, len(db.runs)
+}
+
+// OpStats returns the extended operation counters.
+func (db *DB) OpStats() (gets, puts, deletes, scans uint64) {
+	return db.gets, db.puts, db.deletes, db.scans
+}
+
+// Key formats the canonical fixed-width benchmark key, like LevelDB's
+// db_bench key space.
+func Key(i int) []byte {
+	return []byte(fmt.Sprintf("%016d", i))
+}

@@ -1,0 +1,220 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/clof-go/clof/internal/lockapi"
+	"github.com/clof-go/clof/internal/locks"
+)
+
+var p0 = lockapi.NewNativeProc(0)
+
+func put(s *skiplist, k, v string) { s.putEntry(entry{key: []byte(k), value: []byte(v)}) }
+
+func TestSkiplistBasic(t *testing.T) {
+	s := newSkiplist(1)
+	if _, found := s.get([]byte("a")); found {
+		t.Fatal("empty skiplist returned a value")
+	}
+	put(s, "b", "2")
+	put(s, "a", "1")
+	put(s, "c", "3")
+	for k, v := range map[string]string{"a": "1", "b": "2", "c": "3"} {
+		got, found := s.get([]byte(k))
+		if !found || string(got.value) != v {
+			t.Errorf("get(%q) = %q,%v want %q", k, got.value, found, v)
+		}
+	}
+	put(s, "b", "two")
+	if got, _ := s.get([]byte("b")); string(got.value) != "two" {
+		t.Errorf("overwrite failed: %q", got.value)
+	}
+	if s.n != 3 {
+		t.Errorf("n = %d, want 3", s.n)
+	}
+}
+
+func TestSkiplistOrdered(t *testing.T) {
+	s := newSkiplist(7)
+	for i := 999; i >= 0; i-- {
+		s.putEntry(entry{key: Key(i), value: []byte{byte(i)}})
+	}
+	es := s.entries()
+	if len(es) != 1000 {
+		t.Fatalf("entries = %d", len(es))
+	}
+	for i := 1; i < len(es); i++ {
+		if bytes.Compare(es[i-1].key, es[i].key) >= 0 {
+			t.Fatalf("entries out of order at %d", i)
+		}
+	}
+}
+
+func TestDBPutGet(t *testing.T) {
+	db := Open(Options{})
+	s := db.NewSession()
+	for i := 0; i < 100; i++ {
+		s.Put(p0, Key(i), []byte(fmt.Sprintf("v%d", i)))
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := s.Get(p0, Key(i))
+		if !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get(%d) = %q,%v", i, v, ok)
+		}
+	}
+	if _, ok := s.Get(p0, Key(100)); ok {
+		t.Error("absent key found")
+	}
+}
+
+func TestDBFreezeAndReadThroughRuns(t *testing.T) {
+	db := Open(Options{MemtableBytes: 1 << 10})
+	s := db.NewSession()
+	for i := 0; i < 500; i++ {
+		s.Put(p0, Key(i), bytes.Repeat([]byte("x"), 50))
+	}
+	_, _, _, runs := db.Stats()
+	if runs == 0 {
+		t.Fatal("no runs frozen despite tiny memtable threshold")
+	}
+	for i := 0; i < 500; i++ {
+		if _, ok := s.Get(p0, Key(i)); !ok {
+			t.Fatalf("key %d lost after freeze", i)
+		}
+	}
+}
+
+func TestDBCompactionKeepsNewestValue(t *testing.T) {
+	db := Open(Options{MemtableBytes: 512, MaxRuns: 2})
+	s := db.NewSession()
+	for round := 0; round < 6; round++ {
+		for i := 0; i < 50; i++ {
+			s.Put(p0, Key(i), []byte(fmt.Sprintf("r%d", round)))
+		}
+		s.Flush(p0)
+	}
+	_, _, compactions, runs := db.Stats()
+	if compactions == 0 {
+		t.Fatal("no compaction happened")
+	}
+	if runs > 2+1 {
+		t.Errorf("runs = %d after compaction", runs)
+	}
+	for i := 0; i < 50; i++ {
+		v, ok := s.Get(p0, Key(i))
+		if !ok || string(v) != "r5" {
+			t.Fatalf("key %d = %q,%v; want newest round r5", i, v, ok)
+		}
+	}
+}
+
+// TestDBOracle: random op sequences match a map oracle.
+func TestDBOracle(t *testing.T) {
+	f := func(ops []uint16) bool {
+		db := Open(Options{MemtableBytes: 256, MaxRuns: 3, Seed: 42})
+		s := db.NewSession()
+		oracle := map[string]string{}
+		for i, op := range ops {
+			k := string(Key(int(op % 37)))
+			if op%3 == 0 { // put
+				v := fmt.Sprintf("v%d", i)
+				s.Put(p0, []byte(k), []byte(v))
+				oracle[k] = v
+			} else { // get
+				got, ok := s.Get(p0, []byte(k))
+				want, wok := oracle[k]
+				if ok != wok || (ok && string(got) != want) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentReadRandomWithLocks(t *testing.T) {
+	for _, name := range []string{"tkt", "mcs", "clh", "hem"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			db := Open(Options{Lock: locks.MustType(name).New()})
+			Preload(db, 1000)
+			// Scale workers to the host: spinning goroutines beyond
+			// 2×GOMAXPROCS mostly measure the Go scheduler, and on small
+			// hosts a worker may not even start within the window.
+			threads := 2 * runtime.GOMAXPROCS(0)
+			if threads > 8 {
+				threads = 8
+			}
+			res := ReadRandom(db, ReadRandomOptions{
+				Keys: 1000, Threads: threads, Duration: 100 * time.Millisecond,
+			})
+			if res.Ops == 0 {
+				t.Fatal("no reads completed")
+			}
+			if res.Misses != 0 {
+				t.Errorf("misses = %d on a preloaded key space", res.Misses)
+			}
+			// Per-thread starvation is not assertable natively: with
+			// GOMAXPROCS=1 a late-starting goroutine may not run within the
+			// window at all (the goroutine scheduler, not the lock, decides
+			// — exactly the distortion DESIGN.md §1 documents). Require only
+			// that a majority of workers progressed; fairness is measured on
+			// the simulator instead.
+			progressed := 0
+			for _, c := range res.PerThread {
+				if c > 0 {
+					progressed++
+				}
+			}
+			if progressed < len(res.PerThread)/2 {
+				t.Errorf("only %d/%d workers progressed", progressed, len(res.PerThread))
+			}
+		})
+	}
+}
+
+func TestConcurrentMixedWorkload(t *testing.T) {
+	// Writers and readers racing through the global lock must never lose a
+	// committed key.
+	db := Open(Options{Lock: locks.NewMCS(), MemtableBytes: 4 << 10})
+	Preload(db, 200)
+	sessions := make([]*Session, 4)
+	for i := range sessions {
+		sessions[i] = db.NewSession()
+	}
+	done := make(chan struct{})
+	for w := 0; w < 3; w++ {
+		w := w
+		go func() {
+			p := lockapi.NewNativeProc(w + 1)
+			for i := 0; i < 3000; i++ {
+				if i%4 == 0 {
+					sessions[w].Put(p, Key(i%200), []byte("upd"))
+				} else if _, ok := sessions[w].Get(p, Key(i%200)); !ok {
+					t.Errorf("key %d vanished", i%200)
+				}
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 3; i++ {
+		<-done
+	}
+}
+
+func TestKeyFormat(t *testing.T) {
+	if string(Key(42)) != "0000000000000042" {
+		t.Errorf("Key(42) = %q", Key(42))
+	}
+	if bytes.Compare(Key(9), Key(10)) >= 0 {
+		t.Error("keys do not sort numerically")
+	}
+}

@@ -1,0 +1,112 @@
+package kvstore
+
+import (
+	"sync"
+	"time"
+
+	"github.com/clof-go/clof/internal/lockapi"
+	"github.com/clof-go/clof/internal/xrand"
+)
+
+// ReadRandomOptions configures the native readrandom benchmark (LevelDB
+// db_bench's workload of the same name: uniformly random point reads over a
+// preloaded key space).
+type ReadRandomOptions struct {
+	// Keys is the preloaded key-space size (default 10_000).
+	Keys int
+	// Threads is the number of worker goroutines.
+	Threads int
+	// Duration bounds the run in wall-clock time.
+	Duration time.Duration
+	// Seed seeds per-worker key streams.
+	Seed uint64
+}
+
+// ReadRandomResult reports the benchmark outcome.
+type ReadRandomResult struct {
+	// Ops is the number of completed reads.
+	Ops uint64
+	// PerThread are per-worker counts (fairness).
+	PerThread []uint64
+	// Misses counts reads of absent keys (should be 0 with preload).
+	Misses uint64
+	// Elapsed is the measured wall time.
+	Elapsed time.Duration
+}
+
+// ThroughputOpsPerUs returns reads per microsecond of wall time.
+func (r ReadRandomResult) ThroughputOpsPerUs() float64 {
+	us := float64(r.Elapsed.Microseconds())
+	if us == 0 {
+		return 0
+	}
+	return float64(r.Ops) / us
+}
+
+// Preload fills the DB with o.Keys sequential keys (single-threaded).
+func Preload(db *DB, keys int) {
+	p := lockapi.NewNativeProc(0)
+	s := db.NewSession()
+	val := make([]byte, 100) // LevelDB db_bench default value size
+	for i := 0; i < keys; i++ {
+		s.Put(p, Key(i), val)
+	}
+	s.Flush(p)
+}
+
+// ReadRandom runs the native goroutine benchmark against db. The db must
+// have been Opened with the lock under test and preloaded.
+func ReadRandom(db *DB, o ReadRandomOptions) ReadRandomResult {
+	if o.Keys == 0 {
+		o.Keys = 10_000
+	}
+	if o.Threads == 0 {
+		o.Threads = 1
+	}
+	if o.Duration == 0 {
+		o.Duration = 100 * time.Millisecond
+	}
+	sessions := make([]*Session, o.Threads)
+	for i := range sessions {
+		sessions[i] = db.NewSession()
+	}
+
+	res := ReadRandomResult{PerThread: make([]uint64, o.Threads)}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var missMu sync.Mutex
+	start := time.Now()
+	for w := 0; w < o.Threads; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := lockapi.NewNativeProc(id)
+			rng := xrand.New(o.Seed + uint64(id)*7919)
+			var misses uint64
+			for {
+				select {
+				case <-stop:
+					if misses > 0 {
+						missMu.Lock()
+						res.Misses += misses
+						missMu.Unlock()
+					}
+					return
+				default:
+				}
+				if _, ok := sessions[id].Get(p, Key(rng.Intn(o.Keys))); !ok {
+					misses++
+				}
+				res.PerThread[id]++
+			}
+		}(w)
+	}
+	time.Sleep(o.Duration)
+	close(stop)
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	for _, c := range res.PerThread {
+		res.Ops += c
+	}
+	return res
+}

@@ -1,0 +1,116 @@
+// Package kvstore is a miniature LevelDB-flavored key-value store: an
+// LSM-style engine with a skiplist memtable that is frozen into immutable
+// sorted runs. It exists as the repository's native substitute for the
+// paper's LevelDB benchmark substrate (DESIGN.md §1): its global mutex is a
+// pluggable lockapi.Lock, so any lock in this repository — basic, CLoF,
+// HMCS, CNA, ShflLock — can serve as the DB lock, exactly as the paper
+// swaps LevelDB's pthread mutex via LD_PRELOAD.
+package kvstore
+
+import (
+	"bytes"
+
+	"github.com/clof-go/clof/internal/xrand"
+)
+
+const maxHeight = 12
+
+// skiplist is a single-writer skiplist keyed by []byte. Readers require
+// external synchronization (the DB lock), matching LevelDB's memtable
+// discipline under our global-lock benchmark.
+type skiplist struct {
+	head   *skipNode
+	height int
+	rng    *xrand.Rand
+	n      int
+	bytes  int
+}
+
+type skipNode struct {
+	key, value []byte
+	tombstone  bool
+	next       [maxHeight]*skipNode
+}
+
+func newSkiplist(seed uint64) *skiplist {
+	return &skiplist{head: &skipNode{}, height: 1, rng: xrand.New(seed)}
+}
+
+// randomHeight grows with probability 1/4 per level, as in LevelDB.
+func (s *skiplist) randomHeight() int {
+	h := 1
+	for h < maxHeight && s.rng.Intn(4) == 0 {
+		h++
+	}
+	return h
+}
+
+// findGreaterOrEqual returns the first node with key >= key, filling prev
+// with the predecessor at every level when prev is non-nil.
+func (s *skiplist) findGreaterOrEqual(key []byte, prev *[maxHeight]*skipNode) *skipNode {
+	x := s.head
+	for level := s.height - 1; level >= 0; level-- {
+		for x.next[level] != nil && bytes.Compare(x.next[level].key, key) < 0 {
+			x = x.next[level]
+		}
+		if prev != nil {
+			prev[level] = x
+		}
+	}
+	return x.next[0]
+}
+
+// putEntry inserts or overwrites an entry (possibly a tombstone).
+func (s *skiplist) putEntry(e entry) {
+	var prev [maxHeight]*skipNode
+	if x := s.findGreaterOrEqual(e.key, &prev); x != nil && bytes.Equal(x.key, e.key) {
+		s.bytes += len(e.value) - len(x.value)
+		x.value = e.value
+		x.tombstone = e.tombstone
+		return
+	}
+	h := s.randomHeight()
+	if h > s.height {
+		for level := s.height; level < h; level++ {
+			prev[level] = s.head
+		}
+		s.height = h
+	}
+	node := &skipNode{key: e.key, value: e.value, tombstone: e.tombstone}
+	for level := 0; level < h; level++ {
+		node.next[level] = prev[level].next[level]
+		prev[level].next[level] = node
+	}
+	s.n++
+	s.bytes += len(e.key) + len(e.value) + 1
+}
+
+// get returns the entry for key; found is false if the key was never
+// written (a tombstone IS found).
+func (s *skiplist) get(key []byte) (e entry, found bool) {
+	x := s.findGreaterOrEqual(key, nil)
+	if x != nil && bytes.Equal(x.key, key) {
+		return entry{key: x.key, value: x.value, tombstone: x.tombstone}, true
+	}
+	return entry{}, false
+}
+
+// entries returns all entries in key order (for freezing).
+func (s *skiplist) entries() []entry {
+	return s.entriesFrom(nil)
+}
+
+// entriesFrom returns entries with key >= start in key order.
+func (s *skiplist) entriesFrom(start []byte) []entry {
+	var x *skipNode
+	if len(start) == 0 {
+		x = s.head.next[0]
+	} else {
+		x = s.findGreaterOrEqual(start, nil)
+	}
+	var out []entry
+	for ; x != nil; x = x.next[0] {
+		out = append(out, entry{key: x.key, value: x.value, tombstone: x.tombstone})
+	}
+	return out
+}

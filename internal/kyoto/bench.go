@@ -1,0 +1,102 @@
+package kyoto
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/clof-go/clof/internal/lockapi"
+	"github.com/clof-go/clof/internal/xrand"
+)
+
+// BenchOptions configures the native Kyoto-style benchmark: a mixed
+// get/set/remove workload over a bounded cache, the pattern the paper's
+// Kyoto Cabinet cross-validation exercises (§5.1.2).
+type BenchOptions struct {
+	// Keys is the key-space size (default 4096).
+	Keys int
+	// Threads is the number of worker goroutines.
+	Threads int
+	// Duration bounds the run in wall-clock time.
+	Duration time.Duration
+	// WritePercent is the share of mutating operations (default 20).
+	WritePercent int
+	// Seed seeds per-worker op streams.
+	Seed uint64
+}
+
+// BenchResult reports the benchmark outcome.
+type BenchResult struct {
+	Ops       uint64
+	PerThread []uint64
+	Elapsed   time.Duration
+}
+
+// ThroughputOpsPerUs returns operations per microsecond of wall time.
+func (r BenchResult) ThroughputOpsPerUs() float64 {
+	us := float64(r.Elapsed.Microseconds())
+	if us == 0 {
+		return 0
+	}
+	return float64(r.Ops) / us
+}
+
+// Bench runs the native mixed workload against db.
+func Bench(db *CacheDB, o BenchOptions) BenchResult {
+	if o.Keys == 0 {
+		o.Keys = 4096
+	}
+	if o.Threads == 0 {
+		o.Threads = 1
+	}
+	if o.Duration == 0 {
+		o.Duration = 100 * time.Millisecond
+	}
+	if o.WritePercent == 0 {
+		o.WritePercent = 20
+	}
+	sessions := make([]*Session, o.Threads)
+	for i := range sessions {
+		sessions[i] = db.NewSession()
+	}
+	res := BenchResult{PerThread: make([]uint64, o.Threads)}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < o.Threads; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := lockapi.NewNativeProc(id)
+			rng := xrand.New(o.Seed + uint64(id)*104729)
+			val := []byte("value-payload-0123456789")
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := fmt.Sprint(rng.Intn(o.Keys))
+				switch {
+				case rng.Intn(100) < o.WritePercent:
+					if rng.Intn(8) == 0 {
+						sessions[id].Remove(p, k)
+					} else {
+						sessions[id].Set(p, k, val)
+					}
+				default:
+					sessions[id].Get(p, k)
+				}
+				res.PerThread[id]++
+			}
+		}(w)
+	}
+	time.Sleep(o.Duration)
+	close(stop)
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	for _, c := range res.PerThread {
+		res.Ops += c
+	}
+	return res
+}

@@ -1,0 +1,209 @@
+// Package kyoto is a miniature Kyoto-Cabinet-flavored cache database: an
+// in-memory hash table with separate chaining, LRU eviction at a record
+// capacity, and one global lock around every operation — the structure that
+// makes the real Kyoto Cabinet a popular lock benchmark (its CacheDB
+// serializes operations on a global rwlock). It is the repository's native
+// substitute for the paper's cross-validation benchmark (DESIGN.md §1).
+package kyoto
+
+import (
+	"github.com/clof-go/clof/internal/lockapi"
+)
+
+// Options configures a CacheDB.
+type Options struct {
+	// Lock guards every operation. Nil defaults to a no-op lock.
+	Lock lockapi.Lock
+	// Buckets is the hash bucket count (default 1024).
+	Buckets int
+	// Capacity bounds the record count; 0 means unbounded. At capacity the
+	// least recently used record is evicted.
+	Capacity int
+}
+
+// record is a chained hash entry that is also an LRU list node.
+type record struct {
+	key        string
+	value      []byte
+	hashNext   *record
+	lruPrev    *record
+	lruNext    *record
+	bucketSlot int
+}
+
+// CacheDB is the hash-table store.
+type CacheDB struct {
+	opts    Options
+	lock    lockapi.Lock
+	buckets []*record
+	count   int
+	// LRU list: head = most recent, tail = eviction candidate.
+	lruHead, lruTail *record
+
+	gets, sets, removes, evictions uint64
+}
+
+type noopLock struct{}
+
+func (noopLock) NewCtx() lockapi.Ctx                   { return nil }
+func (noopLock) Acquire(p lockapi.Proc, _ lockapi.Ctx) {}
+func (noopLock) Release(p lockapi.Proc, _ lockapi.Ctx) {}
+
+// Open creates an empty CacheDB.
+func Open(opts Options) *CacheDB {
+	if opts.Buckets == 0 {
+		opts.Buckets = 1024
+	}
+	lock := opts.Lock
+	if lock == nil {
+		lock = noopLock{}
+	}
+	return &CacheDB{opts: opts, lock: lock, buckets: make([]*record, opts.Buckets)}
+}
+
+// Session is a per-worker handle carrying the lock context.
+type Session struct {
+	db  *CacheDB
+	ctx lockapi.Ctx
+}
+
+// NewSession allocates a worker session (single-threaded setup only).
+func (db *CacheDB) NewSession() *Session {
+	return &Session{db: db, ctx: db.lock.NewCtx()}
+}
+
+// fnv1a hashes a key.
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Set inserts or overwrites a record.
+func (s *Session) Set(p lockapi.Proc, key string, value []byte) {
+	db := s.db
+	db.lock.Acquire(p, s.ctx)
+	db.sets++
+	slot := int(fnv1a(key) % uint64(len(db.buckets)))
+	if r := db.findLocked(slot, key); r != nil {
+		r.value = value
+		db.touchLocked(r)
+	} else {
+		r := &record{key: key, value: value, bucketSlot: slot, hashNext: db.buckets[slot]}
+		db.buckets[slot] = r
+		db.count++
+		db.lruPushFrontLocked(r)
+		if db.opts.Capacity > 0 && db.count > db.opts.Capacity {
+			db.evictLocked()
+		}
+	}
+	db.lock.Release(p, s.ctx)
+}
+
+// Get fetches a record and refreshes its recency.
+func (s *Session) Get(p lockapi.Proc, key string) ([]byte, bool) {
+	db := s.db
+	db.lock.Acquire(p, s.ctx)
+	db.gets++
+	var v []byte
+	var ok bool
+	slot := int(fnv1a(key) % uint64(len(db.buckets)))
+	if r := db.findLocked(slot, key); r != nil {
+		v, ok = r.value, true
+		db.touchLocked(r)
+	}
+	db.lock.Release(p, s.ctx)
+	return v, ok
+}
+
+// Remove deletes a record; it reports whether the key existed.
+func (s *Session) Remove(p lockapi.Proc, key string) bool {
+	db := s.db
+	db.lock.Acquire(p, s.ctx)
+	db.removes++
+	slot := int(fnv1a(key) % uint64(len(db.buckets)))
+	ok := db.unlinkLocked(slot, key)
+	db.lock.Release(p, s.ctx)
+	return ok
+}
+
+// Count returns the record count (unsynchronized snapshot).
+func (db *CacheDB) Count() int { return db.count }
+
+// Stats returns operation counters.
+func (db *CacheDB) Stats() (gets, sets, removes, evictions uint64) {
+	return db.gets, db.sets, db.removes, db.evictions
+}
+
+func (db *CacheDB) findLocked(slot int, key string) *record {
+	for r := db.buckets[slot]; r != nil; r = r.hashNext {
+		if r.key == key {
+			return r
+		}
+	}
+	return nil
+}
+
+func (db *CacheDB) unlinkLocked(slot int, key string) bool {
+	var prev *record
+	for r := db.buckets[slot]; r != nil; prev, r = r, r.hashNext {
+		if r.key != key {
+			continue
+		}
+		if prev == nil {
+			db.buckets[slot] = r.hashNext
+		} else {
+			prev.hashNext = r.hashNext
+		}
+		db.lruUnlinkLocked(r)
+		db.count--
+		return true
+	}
+	return false
+}
+
+func (db *CacheDB) lruPushFrontLocked(r *record) {
+	r.lruPrev = nil
+	r.lruNext = db.lruHead
+	if db.lruHead != nil {
+		db.lruHead.lruPrev = r
+	}
+	db.lruHead = r
+	if db.lruTail == nil {
+		db.lruTail = r
+	}
+}
+
+func (db *CacheDB) lruUnlinkLocked(r *record) {
+	if r.lruPrev != nil {
+		r.lruPrev.lruNext = r.lruNext
+	} else {
+		db.lruHead = r.lruNext
+	}
+	if r.lruNext != nil {
+		r.lruNext.lruPrev = r.lruPrev
+	} else {
+		db.lruTail = r.lruPrev
+	}
+	r.lruPrev, r.lruNext = nil, nil
+}
+
+func (db *CacheDB) touchLocked(r *record) {
+	if db.lruHead == r {
+		return
+	}
+	db.lruUnlinkLocked(r)
+	db.lruPushFrontLocked(r)
+}
+
+func (db *CacheDB) evictLocked() {
+	victim := db.lruTail
+	if victim == nil {
+		return
+	}
+	db.unlinkLocked(victim.bucketSlot, victim.key)
+	db.evictions++
+}

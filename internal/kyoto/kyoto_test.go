@@ -1,0 +1,196 @@
+package kyoto
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/clof-go/clof/internal/lockapi"
+	"github.com/clof-go/clof/internal/locks"
+)
+
+var p0 = lockapi.NewNativeProc(0)
+
+func TestSetGetRemove(t *testing.T) {
+	db := Open(Options{})
+	s := db.NewSession()
+	if _, ok := s.Get(p0, "a"); ok {
+		t.Fatal("empty DB returned a value")
+	}
+	s.Set(p0, "a", []byte("1"))
+	s.Set(p0, "b", []byte("2"))
+	if v, ok := s.Get(p0, "a"); !ok || string(v) != "1" {
+		t.Fatalf("Get(a) = %q,%v", v, ok)
+	}
+	s.Set(p0, "a", []byte("one"))
+	if v, _ := s.Get(p0, "a"); string(v) != "one" {
+		t.Fatalf("overwrite failed: %q", v)
+	}
+	if db.Count() != 2 {
+		t.Errorf("Count = %d, want 2", db.Count())
+	}
+	if !s.Remove(p0, "a") {
+		t.Error("Remove(a) = false")
+	}
+	if s.Remove(p0, "a") {
+		t.Error("second Remove(a) = true")
+	}
+	if _, ok := s.Get(p0, "a"); ok {
+		t.Error("removed key still present")
+	}
+	if db.Count() != 1 {
+		t.Errorf("Count = %d, want 1", db.Count())
+	}
+}
+
+func TestCollisionChains(t *testing.T) {
+	// One bucket forces every key onto a single chain.
+	db := Open(Options{Buckets: 1})
+	s := db.NewSession()
+	for i := 0; i < 100; i++ {
+		s.Set(p0, fmt.Sprint(i), []byte{byte(i)})
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := s.Get(p0, fmt.Sprint(i))
+		if !ok || v[0] != byte(i) {
+			t.Fatalf("chained key %d = %v,%v", i, v, ok)
+		}
+	}
+	for i := 0; i < 100; i += 2 {
+		if !s.Remove(p0, fmt.Sprint(i)) {
+			t.Fatalf("Remove(%d) failed", i)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		_, ok := s.Get(p0, fmt.Sprint(i))
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("after removals key %d present=%v want %v", i, ok, want)
+		}
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	db := Open(Options{Capacity: 3})
+	s := db.NewSession()
+	s.Set(p0, "a", nil)
+	s.Set(p0, "b", nil)
+	s.Set(p0, "c", nil)
+	s.Get(p0, "a") // refresh a; b is now LRU
+	s.Set(p0, "d", nil)
+	if _, ok := s.Get(p0, "b"); ok {
+		t.Error("LRU victim b survived")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := s.Get(p0, k); !ok {
+			t.Errorf("key %s wrongly evicted", k)
+		}
+	}
+	if _, _, _, ev := db.Stats(); ev != 1 {
+		t.Errorf("evictions = %d, want 1", ev)
+	}
+	if db.Count() != 3 {
+		t.Errorf("Count = %d, want capacity 3", db.Count())
+	}
+}
+
+// TestOracle: random operation sequences match a map oracle (no capacity).
+func TestOracle(t *testing.T) {
+	f := func(ops []uint16) bool {
+		db := Open(Options{Buckets: 8})
+		s := db.NewSession()
+		oracle := map[string]string{}
+		for i, op := range ops {
+			k := fmt.Sprint(op % 23)
+			switch op % 3 {
+			case 0:
+				v := fmt.Sprint(i)
+				s.Set(p0, k, []byte(v))
+				oracle[k] = v
+			case 1:
+				got, ok := s.Get(p0, k)
+				want, wok := oracle[k]
+				if ok != wok || (ok && string(got) != want) {
+					return false
+				}
+			case 2:
+				if s.Remove(p0, k) != (func() bool { _, ok := oracle[k]; return ok })() {
+					return false
+				}
+				delete(oracle, k)
+			}
+		}
+		return len(oracle) == db.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentAccessWithLocks(t *testing.T) {
+	for _, name := range []string{"tkt", "mcs"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			db := Open(Options{Lock: locks.MustType(name).New(), Capacity: 500})
+			const workers = 8
+			sessions := make([]*Session, workers)
+			for i := range sessions {
+				sessions[i] = db.NewSession()
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					p := lockapi.NewNativeProc(id)
+					for i := 0; i < 2000; i++ {
+						k := fmt.Sprint((id*31 + i) % 400)
+						switch i % 4 {
+						case 0:
+							sessions[id].Set(p, k, []byte(k))
+						case 3:
+							sessions[id].Remove(p, k)
+						default:
+							sessions[id].Get(p, k)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			if db.Count() > 500 {
+				t.Errorf("capacity exceeded: %d", db.Count())
+			}
+			// Structural integrity: every chained record reachable and LRU
+			// list consistent with count.
+			n := 0
+			for cur := db.lruHead; cur != nil; cur = cur.lruNext {
+				n++
+				if n > db.Count()+1 {
+					t.Fatal("LRU list longer than count (cycle?)")
+				}
+			}
+			if n != db.Count() {
+				t.Errorf("LRU list has %d records, count says %d", n, db.Count())
+			}
+		})
+	}
+}
+
+func TestNativeBench(t *testing.T) {
+	db := Open(Options{Lock: locks.NewMCS(), Capacity: 1000})
+	res := Bench(db, BenchOptions{Keys: 500, Threads: 2, Duration: 50 * time.Millisecond})
+	if res.Ops == 0 {
+		t.Fatal("no operations completed")
+	}
+	if res.ThroughputOpsPerUs() <= 0 {
+		t.Fatal("throughput not positive")
+	}
+	if db.Count() > 1000 {
+		t.Fatalf("capacity exceeded during bench: %d", db.Count())
+	}
+	gets, sets, removes, _ := db.Stats()
+	if gets == 0 || sets == 0 {
+		t.Errorf("mixed workload missing op kinds: gets=%d sets=%d removes=%d", gets, sets, removes)
+	}
+}

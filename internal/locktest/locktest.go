@@ -1,0 +1,82 @@
+// Package locktest provides shared test harnesses for exercising locks
+// natively (goroutines, race detector) and on the NUMA simulator (through
+// internal/workload), used by the test suites of every lock package.
+package locktest
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/clof-go/clof/internal/lockapi"
+	"github.com/clof-go/clof/internal/topo"
+	"github.com/clof-go/clof/internal/workload"
+)
+
+// NativeStress drives `workers` goroutines through `iters` critical sections
+// each, incrementing an unprotected counter; lost updates (or -race reports)
+// indicate a mutual-exclusion violation. Worker IDs are mapped to CPUs of
+// the machine with the paper's placement policy so NUMA-aware locks resolve
+// their cohorts.
+func NativeStress(t testing.TB, l lockapi.Lock, mach *topo.Machine, workers, iters int) {
+	t.Helper()
+	cpus := topo.MustPlacement(mach, workers)
+	ctxs := make([]lockapi.Ctx, workers)
+	for i := range ctxs {
+		ctxs[i] = l.NewCtx()
+	}
+	var counter int
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := lockapi.NewNativeProc(cpus[id])
+			for i := 0; i < iters; i++ {
+				l.Acquire(p, ctxs[id])
+				counter++
+				l.Release(p, ctxs[id])
+			}
+		}(w)
+	}
+	wg.Wait()
+	if counter != workers*iters {
+		t.Errorf("counter = %d, want %d (mutual exclusion violated)", counter, workers*iters)
+	}
+}
+
+// SimConfig parameterizes a simulated contention run (see workload.Config).
+type SimConfig struct {
+	Machine         *topo.Machine
+	Threads         int
+	Horizon         int64
+	CSWork, NCSWork int64
+	DataCells       int
+	Seed            uint64
+	JitterNS        int64
+}
+
+// SimResult is workload.Result under its historical test-facing name.
+type SimResult = workload.Result
+
+// SimRun runs the canonical lock benchmark loop on the simulator and fails
+// the test on deadlock or mutual-exclusion violation.
+func SimRun(t testing.TB, mk func() lockapi.Lock, cfg SimConfig) SimResult {
+	t.Helper()
+	res, err := workload.Run(workload.LockFactory(mk), workload.Config{
+		Machine:   cfg.Machine,
+		Threads:   cfg.Threads,
+		Horizon:   cfg.Horizon,
+		CSWork:    cfg.CSWork,
+		NCSWork:   cfg.NCSWork,
+		DataCells: cfg.DataCells,
+		Seed:      cfg.Seed,
+		JitterNS:  cfg.JitterNS,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExclusionViolations > 0 {
+		t.Errorf("mutual exclusion violated %d times", res.ExclusionViolations)
+	}
+	return res
+}

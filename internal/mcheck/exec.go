@@ -1,0 +1,521 @@
+package mcheck
+
+import (
+	"github.com/clof-go/clof/internal/lockapi"
+)
+
+// stopExec unwinds thread goroutines at replay teardown.
+type stopExec struct{}
+
+// mcell is the checker's committed-memory state of one cell.
+type mcell struct {
+	value uint64
+	// version counts committed writes (awaits watch it).
+	version uint64
+	// wTag identifies the last committing write: mix(tid+1, opIdx). Zero
+	// means never written. Used for symmetry-free state fingerprints.
+	wTag uint64
+}
+
+// bufEntry is one pending store in a thread's store buffer.
+type bufEntry struct {
+	cell  *mcell
+	value uint64
+	order lockapi.Order
+	// opIdx is the issuing operation's thread-local index (fingerprints).
+	opIdx uint64
+}
+
+// Thread run status.
+const (
+	thReady int = iota
+	thAwait
+	thDone
+)
+
+// Proc is the model checker's processor handle. In addition to lockapi.Proc
+// it offers the critical-section and fairness hooks the verification
+// programs use.
+type Proc struct {
+	ex     *exec
+	tid    int
+	resume chan struct{}
+
+	status   int
+	awaitOn  *mcell
+	awaitVer uint64
+
+	buffer []bufEntry
+
+	// lastCell is the most recently accessed cell: the await target of the
+	// next Spin. lastVer is the cell's version as observed by that access,
+	// so a write landing between the poll and the Spin still counts as a
+	// wake-up (no lost wake-ups).
+	lastCell *mcell
+	lastVer  uint64
+	// spinArmed is set by memory operations and consumed by Spin; a Spin
+	// with no new memory access since the last one is a plain yield, not an
+	// await (prevents back-to-back backoff Spins from deadlocking).
+	spinArmed bool
+
+	// hist is the rolling hash of this thread's observation sequence; with
+	// deterministic bodies it pins the thread's entire local state.
+	hist  uint64
+	opIdx uint64
+}
+
+// mix is a 64-bit hash combiner (splitmix-style finalization).
+func mix(h uint64, vs ...uint64) uint64 {
+	for _, v := range vs {
+		h ^= v + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+		h *= 0xff51afd7ed558ccd
+		h ^= h >> 33
+	}
+	return h
+}
+
+// exec is one replayed program instance.
+type exec struct {
+	mode    Mode
+	threads []*Proc
+	yield   chan struct{}
+	cells   map[*lockapi.Cell]*mcell
+
+	violation string
+
+	// inCS tracks threads inside the critical section (mutual exclusion).
+	inCS int
+
+	// Fairness bookkeeping (bounded bypass).
+	fairK        int
+	acqTotal     int
+	waitingSince []int // -1 when not waiting
+
+	// cellList keeps registration order for final reads.
+	cellOf func(c *lockapi.Cell) *mcell
+}
+
+// newExec instantiates the program and parks every thread before its first
+// operation.
+func newExec(prog Program, mode Mode, fairK int) *exec {
+	bodies := prog.Make()
+	ex := &exec{
+		mode:         mode,
+		yield:        make(chan struct{}),
+		cells:        make(map[*lockapi.Cell]*mcell),
+		fairK:        fairK,
+		waitingSince: make([]int, len(bodies)),
+	}
+	for i := range ex.waitingSince {
+		ex.waitingSince[i] = -1
+	}
+	for i, body := range bodies {
+		p := &Proc{ex: ex, tid: i, resume: make(chan struct{}), hist: uint64(i) + 1}
+		ex.threads = append(ex.threads, p)
+		body := body
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, stop := r.(stopExec); !stop {
+						panic(r)
+					}
+				}
+				p.status = thDone
+				ex.yield <- struct{}{}
+			}()
+			p.waitTurn()
+			body(p)
+		}()
+	}
+	return ex
+}
+
+// cell registers (on first touch) and returns the checker state of c. The
+// initial value is whatever the instance's setup code placed in the cell.
+func (ex *exec) cell(c *lockapi.Cell) *mcell {
+	m := ex.cells[c]
+	if m == nil {
+		m = &mcell{value: c.Raw().Load()}
+		ex.cells[c] = m
+	}
+	return m
+}
+
+// step grants thread t one operation (t must be enabled).
+func (ex *exec) step(t int) {
+	p := ex.threads[t]
+	p.status = thReady
+	p.awaitOn = nil
+	p.resume <- struct{}{}
+	<-ex.yield
+}
+
+// flush commits buffer entry idx of thread t to memory.
+func (ex *exec) flush(t, idx int) {
+	p := ex.threads[t]
+	e := p.buffer[idx]
+	commit(e.cell, e.value, uint64(t), e.opIdx)
+	p.buffer = append(p.buffer[:idx], p.buffer[idx+1:]...)
+}
+
+// commit applies a write to memory. A write of the value already present is
+// unobservable — no reader can distinguish it — so it does not bump the
+// version (this keeps TAS waiters, whose Swap(1) re-writes 1, from waking
+// each other forever).
+func commit(m *mcell, v, tid, opIdx uint64) {
+	if m.value == v {
+		return
+	}
+	m.value = v
+	m.version++
+	m.wTag = mix(0, tid+1, opIdx)
+}
+
+// shutdown terminates all live thread goroutines.
+func (ex *exec) shutdown() {
+	for _, p := range ex.threads {
+		if p.status == thDone {
+			continue
+		}
+		close(p.resume)
+		<-ex.yield
+	}
+}
+
+// enabledChoices lists every schedulable transition.
+func (ex *exec) enabledChoices() []Choice {
+	var out []Choice
+	for t, p := range ex.threads {
+		switch p.status {
+		case thDone:
+		case thAwait:
+			if p.awaitOn.version != p.awaitVer {
+				out = append(out, Choice{TID: t, Flush: -1})
+			}
+		default:
+			out = append(out, Choice{TID: t, Flush: -1})
+		}
+		for idx := range p.buffer {
+			if ex.flushable(p, idx) {
+				out = append(out, Choice{TID: t, Flush: idx})
+			}
+		}
+	}
+	return out
+}
+
+// flushable applies the memory-model ordering rules to buffer entries.
+func (ex *exec) flushable(p *Proc, idx int) bool {
+	if idx == 0 {
+		return true
+	}
+	if ex.mode != WMM {
+		return false // TSO: FIFO only
+	}
+	e := p.buffer[idx]
+	if e.order != lockapi.Relaxed {
+		return false // Release/SeqCst stores wait for predecessors
+	}
+	for i := 0; i < idx; i++ {
+		if p.buffer[i].cell == e.cell {
+			return false // same-location coherence
+		}
+	}
+	return true
+}
+
+// allDone reports full quiescence.
+func (ex *exec) allDone() bool {
+	for _, p := range ex.threads {
+		if p.status != thDone || len(p.buffer) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// fingerprint summarizes the state; equal fingerprints (with deterministic
+// thread bodies) imply equal futures.
+func (ex *exec) fingerprint() fingerprint {
+	var fp fingerprint
+	for seed := 0; seed < 2; seed++ {
+		h := uint64(seed)*0xabcdef1234567891 + 1
+		for t, p := range ex.threads {
+			th := mix(p.hist, uint64(p.status))
+			if p.status == thAwait {
+				enabled := uint64(0)
+				if p.awaitOn.version != p.awaitVer {
+					enabled = 1
+				}
+				th = mix(th, enabled)
+			}
+			for _, e := range p.buffer {
+				th = mix(th, uint64(e.order), e.value, e.opIdx)
+			}
+			if ex.fairK > 0 {
+				// Bounded-bypass counters are state: a thread bypassed
+				// twice is closer to a violation than one bypassed once.
+				bypass := uint64(0)
+				if since := ex.waitingSince[t]; since >= 0 {
+					bypass = uint64(ex.acqTotal-since) + 1
+				}
+				th = mix(th, bypass)
+			}
+			h = mix(h, th)
+		}
+		// Cells as an unordered XOR: each written cell contributes its
+		// last-writer tag and value (never-written cells hold their initial
+		// value in every reachable state, so they contribute a constant and
+		// can be skipped).
+		var cx uint64
+		for _, m := range ex.cells {
+			if m.wTag != 0 {
+				cx ^= mix(uint64(seed)+7, m.wTag, m.value)
+			}
+		}
+		fp[seed] = mix(h, cx)
+	}
+	return fp
+}
+
+// replayState is what the explorer needs after replaying a prefix.
+type replayState struct {
+	violation string
+	enabled   []Choice
+	allDone   bool
+	fp        fingerprint
+	readFinal func(c *lockapi.Cell) uint64
+}
+
+// replay executes the schedule prefix on a fresh instance.
+func (c *checker) replay(prefix []Choice) replayState {
+	ex := newExec(c.prog, c.cfg.Mode, c.cfg.FairnessK)
+	defer ex.shutdown()
+	for _, ch := range prefix {
+		if ex.violation != "" {
+			break
+		}
+		if ch.Flush >= 0 {
+			ex.flush(ch.TID, ch.Flush)
+		} else {
+			ex.step(ch.TID)
+		}
+	}
+	st := replayState{violation: ex.violation}
+	if st.violation != "" {
+		return st
+	}
+	st.allDone = ex.allDone()
+	if !st.allDone {
+		st.enabled = ex.enabledChoices()
+	}
+	st.fp = ex.fingerprint()
+	st.readFinal = func(cl *lockapi.Cell) uint64 { return ex.cell(cl).value }
+	return st
+}
+
+// ---- Proc: lockapi.Proc implementation ----
+
+func (p *Proc) waitTurn() {
+	if _, ok := <-p.resume; !ok {
+		panic(stopExec{})
+	}
+}
+
+// yieldTurn hands control back after an operation's effects.
+func (p *Proc) yieldTurn() {
+	p.ex.yield <- struct{}{}
+	p.waitTurn()
+}
+
+// readView returns the value of m as seen by this thread (own store buffer
+// first, then memory).
+func (p *Proc) readView(m *mcell) uint64 {
+	for i := len(p.buffer) - 1; i >= 0; i-- {
+		if p.buffer[i].cell == m {
+			return p.buffer[i].value
+		}
+	}
+	return m.value
+}
+
+// drainBuffer commits this thread's buffered stores FIFO (RMWs and strong
+// fences do this).
+func (p *Proc) drainBuffer() {
+	for len(p.buffer) > 0 {
+		p.ex.flush(p.tid, 0)
+	}
+}
+
+// commitWrite writes through to memory.
+func (p *Proc) commitWrite(m *mcell, v uint64) {
+	commit(m, v, uint64(p.tid), p.opIdx)
+}
+
+const (
+	opLoad uint64 = iota + 1
+	opStore
+	opAdd
+	opSwap
+	opCAS
+	opFence
+	opSpin
+)
+
+func (p *Proc) note(op uint64, vals ...uint64) {
+	p.opIdx++
+	p.hist = mix(p.hist, op, p.opIdx)
+	p.hist = mix(p.hist, vals...)
+}
+
+// Load implements lockapi.Proc.
+func (p *Proc) Load(c *lockapi.Cell, _ lockapi.Order) uint64 {
+	m := p.ex.cell(c)
+	v := p.readView(m)
+	p.lastCell = m
+	p.lastVer = m.version
+	p.spinArmed = true
+	p.note(opLoad, v)
+	p.yieldTurn()
+	return v
+}
+
+// Store implements lockapi.Proc. Under SC it writes through; under TSO/WMM
+// it enters the store buffer and commits at a later flush transition.
+func (p *Proc) Store(c *lockapi.Cell, v uint64, o lockapi.Order) {
+	m := p.ex.cell(c)
+	p.lastCell = m
+	p.spinArmed = true
+	p.note(opStore, v)
+	if p.ex.mode == SC || o == lockapi.SeqCst {
+		if o == lockapi.SeqCst {
+			p.drainBuffer()
+		}
+		p.commitWrite(m, v)
+	} else {
+		p.buffer = append(p.buffer, bufEntry{cell: m, value: v, order: o, opIdx: p.opIdx})
+	}
+	p.lastVer = m.version
+	p.yieldTurn()
+}
+
+// Add implements lockapi.Proc (returns the new value). RMWs drain the store
+// buffer and act on memory, like hardware atomics.
+func (p *Proc) Add(c *lockapi.Cell, delta uint64, _ lockapi.Order) uint64 {
+	m := p.ex.cell(c)
+	p.drainBuffer()
+	nv := m.value + delta
+	p.commitWrite(m, nv)
+	p.lastCell = m
+	p.lastVer = m.version
+	p.spinArmed = true
+	p.note(opAdd, nv)
+	p.yieldTurn()
+	return nv
+}
+
+// Swap implements lockapi.Proc (returns the old value).
+func (p *Proc) Swap(c *lockapi.Cell, v uint64, _ lockapi.Order) uint64 {
+	m := p.ex.cell(c)
+	p.drainBuffer()
+	old := m.value
+	p.commitWrite(m, v)
+	p.lastCell = m
+	p.lastVer = m.version
+	p.spinArmed = true
+	p.note(opSwap, old)
+	p.yieldTurn()
+	return old
+}
+
+// CAS implements lockapi.Proc.
+func (p *Proc) CAS(c *lockapi.Cell, old, new uint64, _ lockapi.Order) bool {
+	m := p.ex.cell(c)
+	p.drainBuffer()
+	ok := m.value == old
+	if ok {
+		p.commitWrite(m, new)
+	}
+	p.lastCell = m
+	p.lastVer = m.version
+	p.spinArmed = true
+	var okBit uint64
+	if ok {
+		okBit = 1
+	}
+	p.note(opCAS, okBit)
+	p.yieldTurn()
+	return ok
+}
+
+// Fence implements lockapi.Proc: strong fences drain the store buffer.
+func (p *Proc) Fence(o lockapi.Order) {
+	if o != lockapi.Relaxed {
+		p.drainBuffer()
+	}
+	p.note(opFence, uint64(o))
+	p.yieldTurn()
+}
+
+// Spin implements lockapi.Proc: an armed Spin awaits a change of the last
+// accessed cell (collapsing the spin loop); an unarmed Spin (no memory
+// access since the previous one) is a plain yield.
+func (p *Proc) Spin() {
+	p.note(opSpin)
+	if p.spinArmed && p.lastCell != nil {
+		p.spinArmed = false
+		p.status = thAwait
+		p.awaitOn = p.lastCell
+		p.awaitVer = p.lastVer
+	}
+	p.yieldTurn()
+}
+
+// ID implements lockapi.Proc.
+func (p *Proc) ID() int { return p.tid }
+
+// EnterCS marks critical-section entry; two concurrent holders violate
+// mutual exclusion.
+func (p *Proc) EnterCS() {
+	p.ex.inCS++
+	if p.ex.inCS > 1 {
+		p.ex.violation = "mutual exclusion violated"
+	}
+}
+
+// ExitCS marks critical-section exit.
+func (p *Proc) ExitCS() {
+	p.ex.inCS--
+}
+
+// BeginWait marks the start of a lock acquisition (bounded-bypass check).
+func (p *Proc) BeginWait() {
+	if p.ex.fairK > 0 {
+		p.ex.waitingSince[p.tid] = p.ex.acqTotal
+	}
+}
+
+// EndWait marks a successful acquisition; if any still-waiting thread has
+// been bypassed FairnessK times, that is a fairness violation.
+func (p *Proc) EndWait() {
+	if p.ex.fairK == 0 {
+		return
+	}
+	p.ex.waitingSince[p.tid] = -1
+	p.ex.acqTotal++
+	for t, since := range p.ex.waitingSince {
+		if since >= 0 && p.ex.acqTotal-since >= p.ex.fairK {
+			p.ex.violation = "bounded bypass violated (starvation witness)"
+			_ = t
+		}
+	}
+}
+
+// Assert reports a program-specific invariant violation.
+func (p *Proc) Assert(cond bool, msg string) {
+	if !cond && p.ex.violation == "" {
+		p.ex.violation = "assertion failed: " + msg
+	}
+}
+
+var _ lockapi.Proc = (*Proc)(nil)

@@ -1,0 +1,220 @@
+// Package mcheck is an exhaustive-interleaving model checker for lock
+// algorithms written against lockapi.Proc. It is this repository's
+// substitute for the paper's TLA+/TLC and GenMC/VSync toolchain (§4.2):
+// the same properties are checked — mutual exclusion, deadlock freedom,
+// spinloop termination, and (per program) data invariants and bounded
+// bypass — on the same small thread counts, including the CLoF induction
+// step and the negative results (inverted release order, missing release
+// barrier, TTAS unfairness).
+//
+// # Exploration
+//
+// The checker performs stateless depth-first search over schedules: each
+// schedule prefix is replayed on a fresh program instance, and every
+// enabled choice (run a thread's next shared-memory operation, or flush one
+// store-buffer entry) forks the search. Two reductions keep this tractable:
+//
+//   - Await collapsing: a Spin() after a memory operation turns the spin
+//     loop into an await — the thread is disabled until the watched cell is
+//     written, so failed polls are never scheduled. A spin loop that can
+//     never be satisfied therefore surfaces as a deadlock, which is exactly
+//     the spinloop-termination property.
+//   - State deduplication: a 64+64-bit fingerprint of (per-thread history,
+//     status, buffers; per-cell last-writer and value) prunes re-explored
+//     states. Threads are deterministic, so equal fingerprints imply equal
+//     futures. Pruning on a hash admits a (vanishingly unlikely) collision;
+//     unlike GenMC we do not claim certified soundness, and we say so here
+//     rather than in fine print.
+//
+// # Memory models
+//
+// SC interleaves operations atomically. TSO gives every thread a FIFO store
+// buffer with nondeterministic flushes (store→load reordering). WMM
+// additionally lets Relaxed stores flush out of order — only Release stores
+// wait for their predecessors — which is the Armv8-style behavior that
+// breaks under-fenced locks (§3.3). Load reordering is not modeled; the
+// demonstration programs are chosen so the bugs they document are
+// store-ordering bugs.
+package mcheck
+
+import (
+	"fmt"
+
+	"github.com/clof-go/clof/internal/lockapi"
+)
+
+// Mode selects the memory model.
+type Mode int
+
+const (
+	// SC is sequential consistency: operations take effect atomically in
+	// schedule order.
+	SC Mode = iota
+	// TSO adds per-thread FIFO store buffers (x86-like).
+	TSO
+	// WMM additionally allows Relaxed stores to flush out of order;
+	// Release stores still wait for all earlier buffered stores
+	// (Armv8-store-ordering-like).
+	WMM
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case SC:
+		return "sc"
+	case TSO:
+		return "tso"
+	default:
+		return "wmm"
+	}
+}
+
+// Config bounds the exploration.
+type Config struct {
+	Mode Mode
+	// MaxDepth bounds schedule length; exceeding it reports potential
+	// non-termination. Default 4000.
+	MaxDepth int
+	// MaxStates budgets distinct explored states (default 2,000,000);
+	// exceeding it sets Result.Truncated.
+	MaxStates int
+	// FairnessK, when > 0, reports a violation if some thread is bypassed
+	// K times while continuously waiting (bounded-bypass check). The
+	// per-thread bypass counters become part of the state fingerprint, so
+	// expect a correspondingly larger state space.
+	FairnessK int
+}
+
+// Result summarizes a check.
+type Result struct {
+	// OK is true when no violation was found and the search was not
+	// truncated.
+	OK bool
+	// Violation describes the first property violation found ("" if none).
+	Violation string
+	// Witness is the schedule prefix leading to the violation.
+	Witness []Choice
+	// Executions is the number of replays performed.
+	Executions int
+	// States is the number of distinct states explored.
+	States int
+	// MaxDepthSeen is the longest schedule explored.
+	MaxDepthSeen int
+	// Truncated reports that a budget was exhausted before exhaustion of
+	// the state space.
+	Truncated bool
+}
+
+// Choice is one scheduling decision: run thread TID's pending operation, or
+// (Flush >= 0) flush that index of TID's store buffer.
+type Choice struct {
+	TID   int
+	Flush int
+}
+
+func (c Choice) String() string {
+	if c.Flush >= 0 {
+		return fmt.Sprintf("t%d.flush[%d]", c.TID, c.Flush)
+	}
+	return fmt.Sprintf("t%d", c.TID)
+}
+
+// Program is a finite concurrent program to verify.
+type Program struct {
+	Name string
+	// Make builds a fresh instance: one body per thread. Bodies perform
+	// all shared accesses through the provided Proc and must be
+	// deterministic given their observation sequence.
+	Make func() []func(p *Proc)
+	// Final, if non-nil, validates the quiesced final state (all threads
+	// done, all buffers flushed) and returns a violation message or "".
+	Final func(read func(c *lockapi.Cell) uint64) string
+	// ExpectFair marks the program for the bounded-bypass check (used with
+	// Config.FairnessK).
+	ExpectFair bool
+}
+
+// Check explores prog under cfg.
+func Check(prog Program, cfg Config) Result {
+	if cfg.MaxDepth == 0 {
+		cfg.MaxDepth = 4000
+	}
+	if cfg.MaxStates == 0 {
+		cfg.MaxStates = 2_000_000
+	}
+	c := &checker{prog: prog, cfg: cfg, visited: make(map[fingerprint]struct{})}
+	c.explore(nil)
+	res := Result{
+		Violation:    c.violation,
+		Witness:      c.witness,
+		Executions:   c.execs,
+		States:       len(c.visited),
+		MaxDepthSeen: c.maxDepth,
+		Truncated:    c.truncated,
+	}
+	res.OK = res.Violation == "" && !res.Truncated
+	return res
+}
+
+type fingerprint [2]uint64
+
+type checker struct {
+	prog      Program
+	cfg       Config
+	visited   map[fingerprint]struct{}
+	execs     int
+	maxDepth  int
+	violation string
+	witness   []Choice
+	truncated bool
+}
+
+func (c *checker) explore(prefix []Choice) {
+	if c.violation != "" || c.truncated {
+		return
+	}
+	c.execs++
+	if len(prefix) > c.maxDepth {
+		c.maxDepth = len(prefix)
+	}
+	st := c.replay(prefix)
+	if st.violation != "" {
+		c.violation = st.violation
+		c.witness = append([]Choice(nil), prefix...)
+		return
+	}
+	if len(st.enabled) == 0 {
+		if st.allDone {
+			if c.prog.Final != nil {
+				if msg := c.prog.Final(st.readFinal); msg != "" {
+					c.violation = "final state: " + msg
+					c.witness = append([]Choice(nil), prefix...)
+				}
+			}
+			return
+		}
+		c.violation = "deadlock (threads blocked with no enabled transition)"
+		c.witness = append([]Choice(nil), prefix...)
+		return
+	}
+	if _, seen := c.visited[st.fp]; seen {
+		return
+	}
+	c.visited[st.fp] = struct{}{}
+	if len(c.visited) > c.cfg.MaxStates {
+		c.truncated = true
+		return
+	}
+	if len(prefix) >= c.cfg.MaxDepth {
+		c.violation = "depth limit exceeded (potential non-termination)"
+		c.witness = append([]Choice(nil), prefix...)
+		return
+	}
+	for _, ch := range st.enabled {
+		c.explore(append(prefix, ch))
+		if c.violation != "" || c.truncated {
+			return
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package mcheck
+
+import (
+	"fmt"
+
+	"github.com/clof-go/clof/internal/clof"
+	"github.com/clof-go/clof/internal/lockapi"
+	"github.com/clof-go/clof/internal/locks"
+	"github.com/clof-go/clof/internal/topo"
+)
+
+// LockProgram builds the canonical verification program for a lock: each of
+// `threads` threads performs `iters` critical sections. Inside the critical
+// section the program checks mutual exclusion directly and additionally
+// increments a shared counter with a non-atomic load/store pair using
+// Relaxed accesses — under the WMM mode this is the data whose visibility
+// depends on the lock's release barrier, so a lock with a wrongly relaxed
+// release fails the final-count check even when raw mutual exclusion holds.
+//
+// The mkLock factory is invoked once per replay, so every exploration path
+// starts from a pristine lock.
+func LockProgram(name string, threads, iters int, mkLock func() lockapi.Lock) Program {
+	counter := struct{ c *lockapi.Cell }{}
+	return Program{
+		Name: name,
+		Make: func() []func(p *Proc) {
+			l := mkLock()
+			cnt := &lockapi.Cell{}
+			counter.c = cnt
+			ctxs := make([]lockapi.Ctx, threads)
+			for i := range ctxs {
+				ctxs[i] = l.NewCtx()
+			}
+			bodies := make([]func(p *Proc), threads)
+			for i := 0; i < threads; i++ {
+				i := i
+				bodies[i] = func(p *Proc) {
+					for it := 0; it < iters; it++ {
+						p.BeginWait()
+						l.Acquire(p, ctxs[i])
+						p.EndWait()
+						p.EnterCS()
+						v := p.Load(cnt, lockapi.Relaxed)
+						p.Store(cnt, v+1, lockapi.Relaxed)
+						p.ExitCS()
+						l.Release(p, ctxs[i])
+					}
+				}
+			}
+			return bodies
+		},
+		Final: func(read func(c *lockapi.Cell) uint64) string {
+			want := uint64(threads * iters)
+			if got := read(counter.c); got != want {
+				return fmt.Sprintf("counter = %d, want %d (lost update: release barrier too weak?)", got, want)
+			}
+			return ""
+		},
+		ExpectFair: true,
+	}
+}
+
+// VerifyMachine is the smallest machine exhibiting two hierarchy levels
+// with two leaf cohorts: 2 cache groups of 2 CPUs. The paper's induction
+// step needs exactly this shape (one cohort with two threads, a second
+// cohort with one).
+func VerifyMachine() *topo.Machine {
+	return &topo.Machine{
+		Name:           "verify4",
+		Arch:           topo.ArmV8,
+		Packages:       1,
+		NUMAPerPackage: 1,
+		GroupsPerNUMA:  2,
+		CoresPerGroup:  2,
+		ThreadsPerCore: 1,
+	}
+}
+
+// InductionProgram is the paper's §4.2 induction step: a 2-level CLoF lock
+// over abstract fair locks (verified Ticketlocks), 3 threads — two in one
+// cache-group cohort, one in the other — each acquiring once. Checked
+// properties: mutual exclusion, deadlock freedom, spinloop termination, and
+// the data invariant. `buggy` builds the §4.1.3 inverted-release-order
+// variant, whose exploration must find a violation.
+func InductionProgram(iters int, buggy bool, low, high string) Program {
+	mach := VerifyMachine()
+	h := topo.MustHierarchy(mach, topo.CacheGroup, topo.System)
+	comp := clof.Composition{locks.MustType(low), locks.MustType(high)}
+	name := fmt.Sprintf("clof-induction-%s-%s", low, high)
+	if buggy {
+		name += "-release-order-bug"
+	}
+
+	// Thread→CPU: threads 0,1 share cohort 0 (CPUs 0,1); thread 2 is alone
+	// in cohort 1 (CPU 2). The checker Proc's ID() is the thread id, which
+	// is also a valid CPU id on this machine by construction.
+	counter := struct{ c *lockapi.Cell }{}
+	threads := 3
+	return Program{
+		Name: name,
+		Make: func() []func(p *Proc) {
+			opts := []clof.Option{clof.WithThreshold(2)}
+			if buggy {
+				opts = append(opts, clof.WithReleaseOrderBug())
+			}
+			l := clof.Must(h, comp, opts...)
+			cnt := &lockapi.Cell{}
+			counter.c = cnt
+			ctxs := make([]lockapi.Ctx, threads)
+			for i := range ctxs {
+				ctxs[i] = l.NewCtx()
+			}
+			bodies := make([]func(p *Proc), threads)
+			for i := 0; i < threads; i++ {
+				i := i
+				bodies[i] = func(p *Proc) {
+					for it := 0; it < iters; it++ {
+						p.BeginWait()
+						l.Acquire(p, ctxs[i])
+						p.EndWait()
+						p.EnterCS()
+						v := p.Load(cnt, lockapi.Relaxed)
+						p.Store(cnt, v+1, lockapi.Relaxed)
+						p.ExitCS()
+						l.Release(p, ctxs[i])
+					}
+				}
+			}
+			return bodies
+		},
+		Final: func(read func(c *lockapi.Cell) uint64) string {
+			want := uint64(threads * iters)
+			if got := read(counter.c); got != want {
+				return fmt.Sprintf("counter = %d, want %d", got, want)
+			}
+			return ""
+		},
+		ExpectFair: true,
+	}
+}
+
+// FastPathProgram verifies the §6 TAS fast-path extension: the 2-level
+// CLoF lock with stealing enabled, 3 threads. Mutual exclusion, deadlock
+// freedom and spinloop termination must hold; strict fairness is forfeited
+// by design and not checked here.
+func FastPathProgram(iters int) Program {
+	mach := VerifyMachine()
+	h := topo.MustHierarchy(mach, topo.CacheGroup, topo.System)
+	comp := clof.Composition{locks.MustType("tkt"), locks.MustType("tkt")}
+	counter := struct{ c *lockapi.Cell }{}
+	threads := 3
+	return Program{
+		Name: "clof-fastpath-tkt-tkt",
+		Make: func() []func(p *Proc) {
+			l := clof.Must(h, comp, clof.WithThreshold(2), clof.WithTASFastPath())
+			cnt := &lockapi.Cell{}
+			counter.c = cnt
+			ctxs := make([]lockapi.Ctx, threads)
+			for i := range ctxs {
+				ctxs[i] = l.NewCtx()
+			}
+			bodies := make([]func(p *Proc), threads)
+			for i := 0; i < threads; i++ {
+				i := i
+				bodies[i] = func(p *Proc) {
+					for it := 0; it < iters; it++ {
+						l.Acquire(p, ctxs[i])
+						p.EnterCS()
+						v := p.Load(cnt, lockapi.Relaxed)
+						p.Store(cnt, v+1, lockapi.Relaxed)
+						p.ExitCS()
+						l.Release(p, ctxs[i])
+					}
+				}
+			}
+			return bodies
+		},
+		Final: func(read func(c *lockapi.Cell) uint64) string {
+			want := uint64(threads * iters)
+			if got := read(counter.c); got != want {
+				return fmt.Sprintf("counter = %d, want %d", got, want)
+			}
+			return ""
+		},
+	}
+}
+
+// relaxedReleaseTicket is a deliberately broken Ticketlock whose release is
+// a plain Relaxed store of grant+1 instead of a releasing increment. Under
+// SC it is indistinguishable from the correct lock; under WMM the unlock
+// can become visible before the critical section's buffered data stores,
+// losing updates — the class of bug the paper's A4 aspect is about.
+type relaxedReleaseTicket struct {
+	ticket, grant lockapi.Cell
+}
+
+func (l *relaxedReleaseTicket) NewCtx() lockapi.Ctx { return nil }
+
+func (l *relaxedReleaseTicket) Acquire(p lockapi.Proc, _ lockapi.Ctx) {
+	t := p.Add(&l.ticket, 1, lockapi.Relaxed) - 1
+	for p.Load(&l.grant, lockapi.Acquire) != t {
+		p.Spin()
+	}
+}
+
+func (l *relaxedReleaseTicket) Release(p lockapi.Proc, _ lockapi.Ctx) {
+	g := p.Load(&l.grant, lockapi.Relaxed)
+	p.Store(&l.grant, g+1, lockapi.Relaxed) // BUG: must be Release
+}
+
+// BrokenTicketProgram exhibits the missing-release-barrier bug: correct on
+// SC, violating on WMM.
+func BrokenTicketProgram(threads, iters int) Program {
+	prog := LockProgram("ticket-relaxed-release", threads, iters,
+		func() lockapi.Lock { return &relaxedReleaseTicket{} })
+	prog.ExpectFair = true
+	return prog
+}
+
+// releaseTicket is the correct counterpart of relaxedReleaseTicket, using a
+// store-release. Having both verifies the WMM mode can tell them apart.
+type releaseTicket struct {
+	ticket, grant lockapi.Cell
+}
+
+func (l *releaseTicket) NewCtx() lockapi.Ctx { return nil }
+
+func (l *releaseTicket) Acquire(p lockapi.Proc, _ lockapi.Ctx) {
+	t := p.Add(&l.ticket, 1, lockapi.Relaxed) - 1
+	for p.Load(&l.grant, lockapi.Acquire) != t {
+		p.Spin()
+	}
+}
+
+func (l *releaseTicket) Release(p lockapi.Proc, _ lockapi.Ctx) {
+	g := p.Load(&l.grant, lockapi.Relaxed)
+	p.Store(&l.grant, g+1, lockapi.Release)
+}
+
+// FixedTicketProgram is BrokenTicketProgram with the barrier restored.
+func FixedTicketProgram(threads, iters int) Program {
+	return LockProgram("ticket-release-store", threads, iters,
+		func() lockapi.Lock { return &releaseTicket{} })
+}

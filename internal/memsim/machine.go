@@ -1,0 +1,320 @@
+// Package memsim is a deterministic discrete-event simulator of a
+// multi-level NUMA machine. It is this repository's substitute for the
+// paper's physical x86 and Armv8 servers (see DESIGN.md §1): Go cannot pin
+// goroutines to CPUs and its scheduler/GC distort spin behavior, so all
+// paper experiments run on simulated hardware instead.
+//
+// The model is deliberately first-order: performance of contended locks is
+// dominated by cache-line transfer latencies between levels of the memory
+// hierarchy, by the invalidation cost of writes to widely shared lines, and
+// — on Armv8 — by load-exclusive/store-exclusive retry storms under
+// competing read-modify-writes. memsim charges per-operation costs from a
+// latency table calibrated against the paper's Table 2 and serializes all
+// operations in virtual-time order, so results are exactly reproducible for
+// a given seed.
+//
+// Virtual CPUs are goroutines in a strict turn-taking protocol with the
+// scheduler: at any instant at most one simulated operation executes, so the
+// machine state needs no locking and the simulation is deterministic.
+package memsim
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/clof-go/clof/internal/eventq"
+	"github.com/clof-go/clof/internal/lockapi"
+	"github.com/clof-go/clof/internal/topo"
+	"github.com/clof-go/clof/internal/xrand"
+)
+
+// Latency is the cost model, in virtual nanoseconds. Defaults are produced
+// by DefaultLatency and calibrated (see calibration tests) so that the
+// two-thread ping-pong benchmark reproduces the paper's Table 2 speedups.
+type Latency struct {
+	// Hit is the cost of an access satisfied by the local cache.
+	Hit int64
+	// MemBase is the cost of the first access to a line nobody owns.
+	MemBase int64
+	// Transfer[l] is the cache-to-cache transfer cost when the line's
+	// current owner shares level l (topo.Core..topo.System) with the
+	// requester. It also serves as the invalidation-notice latency for
+	// parked spinners.
+	Transfer [5]int64
+	// RMWBase is the extra cost of a read-modify-write over a load/store.
+	RMWBase int64
+	// Upgrade is the cost of a write by a CPU that already holds a valid
+	// shared copy (MESI S→M upgrade: an invalidation round, no data
+	// fetch). Read-then-write patterns pay this instead of a transfer.
+	Upgrade int64
+	// SharerInval is the per-sharer cost a write pays to invalidate shared
+	// copies (the MESI shared→modified upgrade broadcast). This is what
+	// makes global spinning (Ticketlock) expensive at high contention.
+	SharerInval int64
+	// SharerInvalCap bounds the number of sharers charged.
+	SharerInvalCap int
+	// LLSCRetry is the Armv8-only retry cost an RMW pays per *storming*
+	// competitor: a thread continuously issuing RMWs on the same line (a
+	// fetch_add(0) or CAS spin loop) keeps stealing the exclusive
+	// reservation, so load-exclusive/store-exclusive pairs of other CPUs
+	// fail repeatedly. Alternating, non-overlapping RMWs (e.g. a ticket
+	// handover) carry no penalty. Zero on x86.
+	LLSCRetry int64
+	// LLSCRetryCap bounds the number of stormers charged to one RMW.
+	LLSCRetryCap int
+	// SpinGap is the cost of one Proc.Spin() hint.
+	SpinGap int64
+}
+
+// DefaultLatency returns the calibrated cost model for an architecture.
+//
+// The transfer table is fitted to the paper's Table 2: throughput of the
+// ping-pong counter is ∝ 1/(2·Transfer[l] + c), so the table is chosen to
+// reproduce the reported speedups (x86: 1.00/1.54/1.54/9.07/12.18 for
+// system/package/NUMA/cache-group/core; Armv8: 1.00/1.76/2.98/7.04 for
+// system/package/NUMA/cache-group).
+func DefaultLatency(arch topo.Arch) Latency {
+	l := Latency{
+		Hit:            2,
+		MemBase:        90,
+		RMWBase:        2,
+		Upgrade:        10,
+		SharerInval:    8,
+		SharerInvalCap: 48,
+		SpinGap:        3,
+	}
+	if arch == topo.X86 {
+		//                  core  cache  numa  pkg  system
+		l.Transfer = [5]int64{14, 22, 191, 191, 300}
+	} else {
+		l.Transfer = [5]int64{15, 32, 93, 165, 300}
+		l.LLSCRetry = 2000
+		l.LLSCRetryCap = 4
+	}
+	return l
+}
+
+// Config configures a Machine.
+type Config struct {
+	// Machine is the simulated topology (required).
+	Machine *topo.Machine
+	// Latency overrides DefaultLatency(Machine.Arch) when non-nil.
+	Latency *Latency
+	// Seed seeds all randomness (jitter). Equal seeds ⇒ identical runs.
+	Seed uint64
+	// JitterNS adds a uniform [0, JitterNS) per-operation delay to break
+	// artificial lockstep patterns. 0 disables jitter.
+	JitterNS int64
+	// CPUSpeed optionally scales each CPU's compute time (Proc.Work):
+	// factor 3 means local work takes 3x longer (a LITTLE core). Memory
+	// latencies are unaffected. nil = all CPUs at factor 1.
+	CPUSpeed []float64
+	// Trace, when non-nil, receives one event per memory operation (after
+	// its effects commit). For debugging lock protocols; adds overhead.
+	Trace func(ev TraceEvent)
+}
+
+// TraceEvent describes one committed simulated memory operation.
+type TraceEvent struct {
+	// Time is the operation's completion time (ns).
+	Time int64
+	// CPU is the issuing virtual CPU.
+	CPU int
+	// Op is the operation kind: "load", "store", "cas", "cas!", "add",
+	// "swap", "spin", "work", "park", "wake" ("cas!" = failed compare).
+	Op string
+	// Cell is the accessed cell (nil for spin/work).
+	Cell *lockapi.Cell
+	// Value is the value read/written (CAS: the new value on success).
+	Value uint64
+	// Cost is the charged latency in ns.
+	Cost int64
+}
+
+// line is the coherence state of one simulated cache line (one Cell).
+type line struct {
+	// version counts modifications; used for cached-copy validity.
+	version uint64
+	// owner is the CPU of the last writer, or -1.
+	owner int
+	// sharers holds CPUs with a shared copy since the last write.
+	sharers map[int]struct{}
+	// watchers are procs parked until this line changes.
+	watchers []*Proc
+	// stormers counts threads currently in an RMW spin loop on this line
+	// (consecutive RMWs with no other memory operation in between); used by
+	// the Armv8 LL/SC retry model.
+	stormers int
+}
+
+// Thread run states.
+const (
+	stReady int32 = iota
+	stParked
+	stDone
+)
+
+// Result summarizes a completed run.
+type Result struct {
+	// Now is the virtual time at which the run stopped.
+	Now int64
+	// Events is the number of scheduler events processed.
+	Events uint64
+	// Deadlock reports that the event queue drained with threads still
+	// parked before the horizon was reached.
+	Deadlock bool
+	// ParkedCPUs lists the CPUs that were still parked at the end.
+	ParkedCPUs []int
+}
+
+// Machine is a simulated multi-level NUMA machine. Create with New, add
+// virtual CPUs with Spawn, then call Run exactly once.
+type Machine struct {
+	topo    *topo.Machine
+	lat     Latency
+	arch    topo.Arch
+	rng     *xrand.Rand
+	jitter  int64
+	speeds  []float64
+	trace   func(ev TraceEvent)
+	lines   map[any]*line
+	q       eventq.Queue[*Proc]
+	yield   chan struct{}
+	threads []*Proc
+	horizon int64
+	now     int64
+	events  uint64
+	started bool
+}
+
+// New builds a machine from cfg. It panics on an invalid topology, since
+// that is a programming error in test/benchmark setup.
+func New(cfg Config) *Machine {
+	if cfg.Machine == nil {
+		panic("memsim: Config.Machine is required")
+	}
+	if err := cfg.Machine.Validate(); err != nil {
+		panic(err)
+	}
+	lat := DefaultLatency(cfg.Machine.Arch)
+	if cfg.Latency != nil {
+		lat = *cfg.Latency
+	}
+	if cfg.CPUSpeed != nil && len(cfg.CPUSpeed) != cfg.Machine.NumCPUs() {
+		panic(fmt.Sprintf("memsim: CPUSpeed has %d entries for %d CPUs", len(cfg.CPUSpeed), cfg.Machine.NumCPUs()))
+	}
+	return &Machine{
+		topo:   cfg.Machine,
+		lat:    lat,
+		arch:   cfg.Machine.Arch,
+		rng:    xrand.New(cfg.Seed ^ 0xC10F),
+		jitter: cfg.JitterNS,
+		speeds: cfg.CPUSpeed,
+		trace:  cfg.Trace,
+		lines:  make(map[any]*line),
+		yield:  make(chan struct{}),
+	}
+}
+
+// Topo returns the simulated topology.
+func (m *Machine) Topo() *topo.Machine { return m.topo }
+
+// Latency returns the active cost model.
+func (m *Machine) Latency() Latency { return m.lat }
+
+// Now returns the current virtual time in nanoseconds.
+func (m *Machine) Now() int64 { return m.now }
+
+// Spawn creates a virtual CPU thread pinned to the given CPU and running fn.
+// All Spawn calls must precede Run. fn runs entirely in virtual time; it
+// must perform all shared-memory accesses through the provided Proc.
+func (m *Machine) Spawn(cpu int, fn func(p *Proc)) *Proc {
+	if m.started {
+		panic("memsim: Spawn after Run")
+	}
+	if cpu < 0 || cpu >= m.topo.NumCPUs() {
+		panic(fmt.Sprintf("memsim: cpu %d out of range [0,%d)", cpu, m.topo.NumCPUs()))
+	}
+	p := &Proc{
+		m:      m,
+		cpu:    cpu,
+		resume: make(chan struct{}),
+		lines:  make(map[*line]*plstate),
+		rng:    m.rng.Split(),
+	}
+	m.threads = append(m.threads, p)
+	m.q.Push(0, p)
+	go p.run(fn)
+	return p
+}
+
+// Run executes the simulation until the event queue drains or virtual time
+// exceeds horizon (horizon 0 means "no horizon": run to completion). It
+// returns statistics; Deadlock is set if every remaining thread is parked
+// with no pending event before the horizon.
+func (m *Machine) Run(horizon int64) Result {
+	if m.started {
+		panic("memsim: Run called twice")
+	}
+	m.started = true
+	m.horizon = horizon
+
+	horizonHit := false
+	for {
+		t, p, ok := m.q.Pop()
+		if !ok {
+			break
+		}
+		if horizon > 0 && t > horizon {
+			m.now = horizon
+			horizonHit = true
+			break
+		}
+		m.now = t
+		m.events++
+		p.resume <- struct{}{}
+		<-m.yield
+		if p.panicVal != nil {
+			m.shutdown()
+			panic(p.panicVal)
+		}
+	}
+
+	res := Result{Now: m.now, Events: m.events}
+	for _, p := range m.threads {
+		if p.state == stParked {
+			res.ParkedCPUs = append(res.ParkedCPUs, p.cpu)
+		}
+	}
+	sort.Ints(res.ParkedCPUs)
+	if !horizonHit && len(res.ParkedCPUs) > 0 {
+		res.Deadlock = true
+	}
+	m.shutdown()
+	return res
+}
+
+// shutdown terminates all live virtual CPUs. Each is blocked waiting for its
+// turn; closing its resume channel makes waitTurn panic with the stop
+// sentinel, which the thread wrapper converts into a final yield.
+func (m *Machine) shutdown() {
+	for _, p := range m.threads {
+		if p.state == stDone {
+			continue
+		}
+		close(p.resume)
+		<-m.yield
+	}
+}
+
+// lineOf returns (creating on demand) the coherence state for a cell's
+// cache line (colocated cells share one line, see lockapi.Colocate).
+func (m *Machine) lineOf(c *lockapi.Cell) *line {
+	key := c.LineKey()
+	ln := m.lines[key]
+	if ln == nil {
+		ln = &line{owner: -1, sharers: make(map[int]struct{}, 4)}
+		m.lines[key] = ln
+	}
+	return ln
+}

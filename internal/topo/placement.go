@@ -1,0 +1,33 @@
+package topo
+
+import "fmt"
+
+// Placement returns the CPUs to pin n benchmark threads to, reproducing the
+// paper's pinning policy (§5.1, observable in Fig. 2): physical cores are
+// filled sequentially first — cores of one cache group, then the next cache
+// group, NUMA node, package — and hyperthread siblings are used only once
+// every core already runs one thread. On the paper's x86 server this makes
+// 24 threads exactly fill package 0 (one hyperthread per core) and thread
+// 49+ start doubling up on cores.
+func Placement(m *Machine, n int) ([]int, error) {
+	if n <= 0 || n > m.NumCPUs() {
+		return nil, fmt.Errorf("topo: placement for %d threads on %d CPUs", n, m.NumCPUs())
+	}
+	cores := m.NumCPUs() / m.ThreadsPerCore
+	cpus := make([]int, n)
+	for t := 0; t < n; t++ {
+		ht := t / cores
+		core := t % cores
+		cpus[t] = core*m.ThreadsPerCore + ht
+	}
+	return cpus, nil
+}
+
+// MustPlacement is Placement that panics on error.
+func MustPlacement(m *Machine, n int) []int {
+	p, err := Placement(m, n)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

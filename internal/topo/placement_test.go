@@ -1,0 +1,70 @@
+package topo
+
+import "testing"
+
+func TestPlacementX86FillsCoresFirst(t *testing.T) {
+	m := X86Server()
+	cpus, err := Placement(m, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First 48 threads: one per physical core (even CPU ids).
+	for i := 0; i < 48; i++ {
+		if cpus[i]%2 != 0 {
+			t.Fatalf("thread %d on cpu %d: expected first hyperthreads only", i, cpus[i])
+		}
+	}
+	// Threads 48..95 take the second hyperthreads.
+	for i := 48; i < 96; i++ {
+		if cpus[i]%2 != 1 {
+			t.Fatalf("thread %d on cpu %d: expected second hyperthreads", i, cpus[i])
+		}
+	}
+	// 24 threads fill exactly package 0 (cores 0..23 = CPUs < 48).
+	for i := 0; i < 24; i++ {
+		if m.CohortOf(cpus[i], Package) != 0 {
+			t.Fatalf("thread %d on cpu %d: expected package 0", i, cpus[i])
+		}
+	}
+	if m.CohortOf(cpus[24], Package) != 1 {
+		t.Fatalf("thread 24 on cpu %d: expected package 1", cpus[24])
+	}
+}
+
+func TestPlacementNoDuplicates(t *testing.T) {
+	for _, m := range []*Machine{X86Server(), Armv8Server()} {
+		for _, n := range []int{1, 7, m.NumCPUs()} {
+			cpus, err := Placement(m, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen := map[int]bool{}
+			for _, c := range cpus {
+				if c < 0 || c >= m.NumCPUs() || seen[c] {
+					t.Fatalf("%s n=%d: bad/duplicate cpu %d", m.Name, n, c)
+				}
+				seen[c] = true
+			}
+		}
+	}
+}
+
+func TestPlacementArmSequential(t *testing.T) {
+	m := Armv8Server()
+	cpus := MustPlacement(m, 8)
+	for i, c := range cpus {
+		if c != i {
+			t.Fatalf("no-SMT machine must place sequentially: thread %d on cpu %d", i, c)
+		}
+	}
+}
+
+func TestPlacementErrors(t *testing.T) {
+	m := X86Server()
+	if _, err := Placement(m, 0); err == nil {
+		t.Error("accepted 0 threads")
+	}
+	if _, err := Placement(m, 97); err == nil {
+		t.Error("accepted more threads than CPUs")
+	}
+}

@@ -1,0 +1,407 @@
+// Package topo models the multi-level memory hierarchy of a NUMA machine:
+// packages, NUMA nodes, L3 cache groups, cores, and hardware threads.
+//
+// The paper (§3.1) observes that vendors and the OS under-report the real
+// hierarchy (lscpu misses L3 cache groups), so CLoF discovers it with a
+// microbenchmark. This package provides the vocabulary for that discovery:
+// sharing levels, cohorts, hierarchical CPU numbering, and the two reference
+// servers from the paper's evaluation.
+package topo
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Level identifies a layer of the memory hierarchy, ordered from the most
+// local (Core: hyperthread siblings) to the most global (System).
+type Level int
+
+// Hierarchy levels, low (most sharing) to high (least sharing).
+const (
+	// Core groups hardware threads of one physical core (L1/L2 sharing).
+	Core Level = iota
+	// CacheGroup groups cores sharing an L3 partition (CCX on EPYC,
+	// cluster on Kunpeng). Invisible to lscpu; discovered experimentally.
+	CacheGroup
+	// NUMA groups cache groups sharing a memory bank.
+	NUMA
+	// Package groups NUMA nodes on one socket.
+	Package
+	// System is the whole machine.
+	System
+
+	numLevels = int(System) + 1
+)
+
+var levelNames = [...]string{"core", "cache-group", "numa", "package", "system"}
+
+// String returns the level's lower-case name as used in hierarchy configs.
+func (l Level) String() string {
+	if l < 0 || int(l) >= numLevels {
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+	return levelNames[l]
+}
+
+// ParseLevel converts a level name (as produced by String) back to a Level.
+func ParseLevel(s string) (Level, error) {
+	for i, n := range levelNames {
+		if s == n {
+			return Level(i), nil
+		}
+	}
+	return 0, fmt.Errorf("topo: unknown level %q", s)
+}
+
+// MarshalJSON encodes the level as its string name.
+func (l Level) MarshalJSON() ([]byte, error) { return json.Marshal(l.String()) }
+
+// UnmarshalJSON decodes a level from its string name.
+func (l *Level) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	v, err := ParseLevel(s)
+	if err != nil {
+		return err
+	}
+	*l = v
+	return nil
+}
+
+// Arch distinguishes the two instruction-set architectures whose coherence
+// behavior the paper contrasts (§3.2): x86's MESI/MESIF protocols versus
+// Armv8's load-exclusive/store-exclusive atomics.
+type Arch int
+
+const (
+	// X86 models a TSO machine with MESI/MESIF coherence; read-for-
+	// ownership RMWs avoid shared→modified upgrades (the CTR optimization
+	// helps).
+	X86 Arch = iota
+	// ArmV8 models a weakly ordered machine whose RMWs are implemented with
+	// load-exclusive/store-exclusive pairs; competing RMWs on one line cause
+	// retry storms (the CTR optimization collapses).
+	ArmV8
+)
+
+// String returns the conventional architecture name.
+func (a Arch) String() string {
+	if a == X86 {
+		return "x86"
+	}
+	return "armv8"
+}
+
+// MarshalJSON encodes the architecture as its string name.
+func (a Arch) MarshalJSON() ([]byte, error) { return json.Marshal(a.String()) }
+
+// UnmarshalJSON decodes an architecture from its string name.
+func (a *Arch) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	switch strings.ToLower(s) {
+	case "x86":
+		*a = X86
+	case "armv8", "arm":
+		*a = ArmV8
+	default:
+		return fmt.Errorf("topo: unknown arch %q", s)
+	}
+	return nil
+}
+
+// Machine describes a multi-level NUMA machine as a regular tree of
+// packages → NUMA nodes → cache groups → cores → hardware threads.
+//
+// CPUs are numbered hierarchically: CPU ids of one core are contiguous, cores
+// of one cache group are contiguous, and so on. (Physical machines often
+// interleave hyperthread numbering; the mapping is a relabeling and does not
+// affect any experiment.)
+type Machine struct {
+	// Name identifies the machine in configs and reports.
+	Name string `json:"name"`
+	// Arch selects the coherence/atomics behavior model.
+	Arch Arch `json:"arch"`
+	// Packages is the number of sockets.
+	Packages int `json:"packages"`
+	// NUMAPerPackage is the number of NUMA nodes per socket.
+	NUMAPerPackage int `json:"numaPerPackage"`
+	// GroupsPerNUMA is the number of L3 cache groups per NUMA node.
+	GroupsPerNUMA int `json:"groupsPerNuma"`
+	// CoresPerGroup is the number of physical cores per cache group.
+	CoresPerGroup int `json:"coresPerGroup"`
+	// ThreadsPerCore is the SMT width (1 = no hyperthreading).
+	ThreadsPerCore int `json:"threadsPerCore"`
+}
+
+// Validate reports an error if any dimension is non-positive.
+func (m *Machine) Validate() error {
+	for _, d := range []struct {
+		name string
+		v    int
+	}{
+		{"packages", m.Packages},
+		{"numaPerPackage", m.NUMAPerPackage},
+		{"groupsPerNuma", m.GroupsPerNUMA},
+		{"coresPerGroup", m.CoresPerGroup},
+		{"threadsPerCore", m.ThreadsPerCore},
+	} {
+		if d.v <= 0 {
+			return fmt.Errorf("topo: machine %q: %s must be positive, got %d", m.Name, d.name, d.v)
+		}
+	}
+	return nil
+}
+
+// NumCPUs returns the total number of hardware threads.
+func (m *Machine) NumCPUs() int {
+	return m.Packages * m.NUMAPerPackage * m.GroupsPerNUMA * m.CoresPerGroup * m.ThreadsPerCore
+}
+
+// cpusPer returns how many CPUs one cohort at the given level spans.
+func (m *Machine) cpusPer(l Level) int {
+	n := 1
+	switch l {
+	case System:
+		n = m.NumCPUs()
+	case Package:
+		n = m.NUMAPerPackage * m.GroupsPerNUMA * m.CoresPerGroup * m.ThreadsPerCore
+	case NUMA:
+		n = m.GroupsPerNUMA * m.CoresPerGroup * m.ThreadsPerCore
+	case CacheGroup:
+		n = m.CoresPerGroup * m.ThreadsPerCore
+	case Core:
+		n = m.ThreadsPerCore
+	}
+	return n
+}
+
+// Cohorts returns the number of distinct cohorts at the given level (e.g.
+// the number of NUMA nodes for Level NUMA; always 1 for System).
+func (m *Machine) Cohorts(l Level) int { return m.NumCPUs() / m.cpusPer(l) }
+
+// CohortOf returns the index of the cohort containing cpu at the given level.
+// Cohort indices are dense in [0, Cohorts(l)).
+func (m *Machine) CohortOf(cpu int, l Level) int { return cpu / m.cpusPer(l) }
+
+// CohortCPUs returns the CPU ids belonging to cohort `id` at level l.
+func (m *Machine) CohortCPUs(l Level, id int) []int {
+	span := m.cpusPer(l)
+	cpus := make([]int, span)
+	for i := range cpus {
+		cpus[i] = id*span + i
+	}
+	return cpus
+}
+
+// ShareLevel returns the most local level at which cpus a and b share a
+// cohort: Core for hyperthread siblings, System for CPUs on different
+// packages, and so on. ShareLevel(a, a) == Core.
+func (m *Machine) ShareLevel(a, b int) Level {
+	for l := Core; l < System; l++ {
+		if m.CohortOf(a, l) == m.CohortOf(b, l) {
+			return l
+		}
+	}
+	return System
+}
+
+// X86Server returns the paper's x86 evaluation platform: a dual-socket AMD
+// EPYC 7352 (2 packages × 1 NUMA node × 8 cache groups × 3 cores × 2
+// hyperthreads = 96 CPUs). Cache groups of 3 cores match the EPYC CCX
+// structure observed in Fig. 1a.
+func X86Server() *Machine {
+	return &Machine{
+		Name:           "x86-epyc7352-2s",
+		Arch:           X86,
+		Packages:       2,
+		NUMAPerPackage: 1,
+		GroupsPerNUMA:  8,
+		CoresPerGroup:  3,
+		ThreadsPerCore: 2,
+	}
+}
+
+// Armv8Server returns the paper's Armv8 evaluation platform: a dual-socket
+// Huawei Kunpeng 920-6426 (2 packages × 2 NUMA nodes × 8 cache groups × 4
+// cores × 1 thread = 128 CPUs). Cache groups of 4 cores match Fig. 1b.
+func Armv8Server() *Machine {
+	return &Machine{
+		Name:           "armv8-kunpeng920-2s",
+		Arch:           ArmV8,
+		Packages:       2,
+		NUMAPerPackage: 2,
+		GroupsPerNUMA:  8,
+		CoresPerGroup:  4,
+		ThreadsPerCore: 1,
+	}
+}
+
+// BigLittleSoC models a handheld-class asymmetric SoC, the paper's §7
+// future-work target: one package, one memory, two clusters (cache groups)
+// of four cores — cluster 0 the "big" cores, cluster 1 the "LITTLE" cores.
+// Which cores are slow is a property of execution speed, not topology; pair
+// this machine with BigLittleSpeeds for the simulator.
+func BigLittleSoC() *Machine {
+	return &Machine{
+		Name:           "biglittle-soc",
+		Arch:           ArmV8,
+		Packages:       1,
+		NUMAPerPackage: 1,
+		GroupsPerNUMA:  2,
+		CoresPerGroup:  4,
+		ThreadsPerCore: 1,
+	}
+}
+
+// BigLittleSpeeds returns per-CPU compute-speed factors for a BigLittleSoC:
+// 1.0 for the big cluster (cache group 0) and `littleFactor` (> 1 = slower)
+// for every other cluster.
+func BigLittleSpeeds(m *Machine, littleFactor float64) []float64 {
+	speeds := make([]float64, m.NumCPUs())
+	for cpu := range speeds {
+		if m.CohortOf(cpu, CacheGroup) == 0 {
+			speeds[cpu] = 1.0
+		} else {
+			speeds[cpu] = littleFactor
+		}
+	}
+	return speeds
+}
+
+// Hierarchy is a hierarchy configuration (the tuning point of paper Fig. 5):
+// the machine plus the ordered subset of its levels a composed lock should
+// exploit, from most local to System. The paper's 4-level x86 configuration
+// is [Core, CacheGroup, NUMA, System]; its 4-level Armv8 configuration is
+// [CacheGroup, NUMA, Package, System].
+type Hierarchy struct {
+	Machine *Machine `json:"machine"`
+	Levels  []Level  `json:"levels"`
+}
+
+// NewHierarchy validates and builds a hierarchy configuration.
+func NewHierarchy(m *Machine, levels ...Level) (*Hierarchy, error) {
+	h := &Hierarchy{Machine: m, Levels: levels}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// MustHierarchy is NewHierarchy that panics on error; for tests and the
+// predefined configurations.
+func MustHierarchy(m *Machine, levels ...Level) *Hierarchy {
+	h, err := NewHierarchy(m, levels...)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Validate checks that levels are strictly ascending, end at System, and are
+// non-trivial on this machine (e.g. a Core level is rejected when
+// ThreadsPerCore == 1, since every cohort would hold one CPU).
+func (h *Hierarchy) Validate() error {
+	if h.Machine == nil {
+		return fmt.Errorf("topo: hierarchy has no machine")
+	}
+	if err := h.Machine.Validate(); err != nil {
+		return err
+	}
+	if len(h.Levels) == 0 {
+		return fmt.Errorf("topo: hierarchy has no levels")
+	}
+	if h.Levels[len(h.Levels)-1] != System {
+		return fmt.Errorf("topo: hierarchy must end at the system level, ends at %v", h.Levels[len(h.Levels)-1])
+	}
+	for i := 1; i < len(h.Levels); i++ {
+		if h.Levels[i] <= h.Levels[i-1] {
+			return fmt.Errorf("topo: hierarchy levels must be strictly ascending, got %v before %v", h.Levels[i-1], h.Levels[i])
+		}
+	}
+	for _, l := range h.Levels[:len(h.Levels)-1] {
+		if h.Machine.Cohorts(l) == h.Machine.Cohorts(nextLevel(h.Machine, l)) {
+			// Degenerate level: identical cohorts to the level above make
+			// the extra lock pure overhead, but the user may still want it
+			// (paper keeps NUMA==Package distinct on x86); allow it.
+			continue
+		}
+	}
+	return nil
+}
+
+// nextLevel returns the next non-degenerate level above l on machine m.
+func nextLevel(m *Machine, l Level) Level {
+	if l >= System {
+		return System
+	}
+	return l + 1
+}
+
+// Depth returns the number of levels (the ⟨n⟩ in CLoF⟨n⟩/HMCS⟨n⟩ notation).
+func (h *Hierarchy) Depth() int { return len(h.Levels) }
+
+// String renders e.g. "x86-epyc7352-2s[core,cache-group,numa,system]".
+func (h *Hierarchy) String() string {
+	names := make([]string, len(h.Levels))
+	for i, l := range h.Levels {
+		names[i] = l.String()
+	}
+	return h.Machine.Name + "[" + strings.Join(names, ",") + "]"
+}
+
+// hierarchyJSON mirrors Hierarchy without its TextMarshaler methods, so the
+// (Un)MarshalText implementations below can delegate to encoding/json
+// without recursing into themselves.
+type hierarchyJSON struct {
+	Machine *Machine `json:"machine"`
+	Levels  []Level  `json:"levels"`
+}
+
+// MarshalText serializes the hierarchy configuration as JSON (the on-disk
+// "hierarchy configuration" file of paper Fig. 5).
+func (h *Hierarchy) MarshalText() ([]byte, error) {
+	return json.MarshalIndent(hierarchyJSON{Machine: h.Machine, Levels: h.Levels}, "", "  ")
+}
+
+// UnmarshalText parses a hierarchy configuration produced by MarshalText.
+func (h *Hierarchy) UnmarshalText(b []byte) error {
+	var j hierarchyJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	h.Machine, h.Levels = j.Machine, j.Levels
+	return h.Validate()
+}
+
+// X86Hierarchy4 is the paper's 4-level x86 configuration (§5.2.1): core,
+// cache group, NUMA node, system — the package level is skipped because the
+// EPYC 7352 has one NUMA node per package.
+func X86Hierarchy4() *Hierarchy {
+	return MustHierarchy(X86Server(), Core, CacheGroup, NUMA, System)
+}
+
+// X86Hierarchy3 is the paper's 3-level x86 configuration: cache group, NUMA
+// node, system — the core level is skipped (many applications disable SMT).
+func X86Hierarchy3() *Hierarchy {
+	return MustHierarchy(X86Server(), CacheGroup, NUMA, System)
+}
+
+// ArmHierarchy4 is the paper's 4-level Armv8 configuration: cache group,
+// NUMA node, package, system — no core level (no SMT on Kunpeng 920).
+func ArmHierarchy4() *Hierarchy {
+	return MustHierarchy(Armv8Server(), CacheGroup, NUMA, Package, System)
+}
+
+// ArmHierarchy3 is the paper's 3-level Armv8 configuration: cache group,
+// NUMA node, system — the package level is skipped because the
+// package/system latency difference is thin (Table 2).
+func ArmHierarchy3() *Hierarchy {
+	return MustHierarchy(Armv8Server(), CacheGroup, NUMA, System)
+}

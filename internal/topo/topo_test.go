@@ -1,0 +1,215 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLevelStringRoundTrip(t *testing.T) {
+	for l := Core; l <= System; l++ {
+		got, err := ParseLevel(l.String())
+		if err != nil {
+			t.Fatalf("ParseLevel(%q): %v", l.String(), err)
+		}
+		if got != l {
+			t.Errorf("round trip %v -> %q -> %v", l, l.String(), got)
+		}
+	}
+	if _, err := ParseLevel("l4-tag"); err == nil {
+		t.Error("ParseLevel accepted an unknown level name")
+	}
+}
+
+func TestX86ServerDimensions(t *testing.T) {
+	m := X86Server()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.NumCPUs(); got != 96 {
+		t.Errorf("x86 NumCPUs = %d, want 96 (48 cores x 2 HT)", got)
+	}
+	wantCohorts := map[Level]int{Core: 48, CacheGroup: 16, NUMA: 2, Package: 2, System: 1}
+	for l, want := range wantCohorts {
+		if got := m.Cohorts(l); got != want {
+			t.Errorf("x86 Cohorts(%v) = %d, want %d", l, got, want)
+		}
+	}
+}
+
+func TestArmv8ServerDimensions(t *testing.T) {
+	m := Armv8Server()
+	if got := m.NumCPUs(); got != 128 {
+		t.Errorf("armv8 NumCPUs = %d, want 128", got)
+	}
+	wantCohorts := map[Level]int{Core: 128, CacheGroup: 32, NUMA: 4, Package: 2, System: 1}
+	for l, want := range wantCohorts {
+		if got := m.Cohorts(l); got != want {
+			t.Errorf("armv8 Cohorts(%v) = %d, want %d", l, got, want)
+		}
+	}
+}
+
+func TestShareLevelX86(t *testing.T) {
+	m := X86Server()
+	tests := []struct {
+		a, b int
+		want Level
+	}{
+		{0, 0, Core},
+		{0, 1, Core},       // hyperthread siblings
+		{0, 2, CacheGroup}, // same CCX, different core
+		{0, 5, CacheGroup},
+		{0, 6, NUMA},  // next cache group
+		{0, 47, NUMA}, // same socket
+		{0, 48, System},
+		{95, 48, Package}, // same second socket -> shares Package and NUMA; most local is NUMA
+	}
+	for _, tt := range tests {
+		got := m.ShareLevel(tt.a, tt.b)
+		// NUMA and Package coincide on this machine (1 NUMA per package):
+		// accept the more local of the two for the {95,48} case.
+		if tt.a == 95 && tt.b == 48 {
+			if got != NUMA {
+				t.Errorf("ShareLevel(%d,%d) = %v, want NUMA (most local shared)", tt.a, tt.b, got)
+			}
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("ShareLevel(%d,%d) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestShareLevelArmv8(t *testing.T) {
+	m := Armv8Server()
+	tests := []struct {
+		a, b int
+		want Level
+	}{
+		{0, 1, CacheGroup}, // no SMT: distinct cores share the cache group
+		{0, 4, NUMA},
+		{0, 32, Package}, // second NUMA node, same socket
+		{0, 64, System},  // second socket
+	}
+	for _, tt := range tests {
+		if got := m.ShareLevel(tt.a, tt.b); got != tt.want {
+			t.Errorf("ShareLevel(%d,%d) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestShareLevelSymmetric(t *testing.T) {
+	m := Armv8Server()
+	f := func(a, b uint16) bool {
+		x := int(a) % m.NumCPUs()
+		y := int(b) % m.NumCPUs()
+		return m.ShareLevel(x, y) == m.ShareLevel(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCohortCPUsPartition(t *testing.T) {
+	for _, m := range []*Machine{X86Server(), Armv8Server()} {
+		for l := Core; l <= System; l++ {
+			seen := make(map[int]bool)
+			for id := 0; id < m.Cohorts(l); id++ {
+				for _, cpu := range m.CohortCPUs(l, id) {
+					if seen[cpu] {
+						t.Fatalf("%s level %v: cpu %d in two cohorts", m.Name, l, cpu)
+					}
+					seen[cpu] = true
+					if m.CohortOf(cpu, l) != id {
+						t.Fatalf("%s level %v: CohortOf(%d) != %d", m.Name, l, cpu, id)
+					}
+				}
+			}
+			if len(seen) != m.NumCPUs() {
+				t.Fatalf("%s level %v: cohorts cover %d CPUs, want %d", m.Name, l, len(seen), m.NumCPUs())
+			}
+		}
+	}
+}
+
+func TestHierarchyValidate(t *testing.T) {
+	m := X86Server()
+	if _, err := NewHierarchy(m, Core, CacheGroup, NUMA, System); err != nil {
+		t.Errorf("valid hierarchy rejected: %v", err)
+	}
+	if _, err := NewHierarchy(m, NUMA, Core, System); err == nil {
+		t.Error("descending levels accepted")
+	}
+	if _, err := NewHierarchy(m, Core, NUMA); err == nil {
+		t.Error("hierarchy not ending at System accepted")
+	}
+	if _, err := NewHierarchy(m); err == nil {
+		t.Error("empty hierarchy accepted")
+	}
+	if _, err := NewHierarchy(nil, System); err == nil {
+		t.Error("nil machine accepted")
+	}
+	bad := *m
+	bad.CoresPerGroup = 0
+	if _, err := NewHierarchy(&bad, System); err == nil {
+		t.Error("machine with zero dimension accepted")
+	}
+}
+
+func TestHierarchyTextRoundTrip(t *testing.T) {
+	for _, h := range []*Hierarchy{X86Hierarchy4(), X86Hierarchy3(), ArmHierarchy4(), ArmHierarchy3()} {
+		b, err := h.MarshalText()
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", h, err)
+		}
+		var got Hierarchy
+		if err := got.UnmarshalText(b); err != nil {
+			t.Fatalf("%s: unmarshal: %v", h, err)
+		}
+		if got.String() != h.String() {
+			t.Errorf("round trip: got %s, want %s", got.String(), h.String())
+		}
+		if got.Machine.Arch != h.Machine.Arch {
+			t.Errorf("round trip lost arch: got %v, want %v", got.Machine.Arch, h.Machine.Arch)
+		}
+	}
+}
+
+func TestPaperHierarchyDepths(t *testing.T) {
+	if d := X86Hierarchy4().Depth(); d != 4 {
+		t.Errorf("X86Hierarchy4 depth = %d", d)
+	}
+	if d := ArmHierarchy3().Depth(); d != 3 {
+		t.Errorf("ArmHierarchy3 depth = %d", d)
+	}
+}
+
+func TestUnmarshalRejectsBadConfig(t *testing.T) {
+	var h Hierarchy
+	if err := h.UnmarshalText([]byte(`{"machine":{"name":"m","arch":"x86","packages":1,"numaPerPackage":1,"groupsPerNuma":1,"coresPerGroup":1,"threadsPerCore":1},"levels":["numa","core","system"]}`)); err == nil {
+		t.Error("descending-level config accepted")
+	}
+	if err := h.UnmarshalText([]byte(`{"machine":{"name":"m","arch":"vax"},"levels":["system"]}`)); err == nil {
+		t.Error("unknown arch accepted")
+	}
+}
+
+func TestBigLittleSoC(t *testing.T) {
+	m := BigLittleSoC()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumCPUs() != 8 || m.Cohorts(CacheGroup) != 2 {
+		t.Fatalf("SoC shape wrong: %d cpus, %d clusters", m.NumCPUs(), m.Cohorts(CacheGroup))
+	}
+	speeds := BigLittleSpeeds(m, 3.0)
+	for cpu, s := range speeds {
+		want := 1.0
+		if cpu >= 4 {
+			want = 3.0
+		}
+		if s != want {
+			t.Errorf("cpu %d speed = %v, want %v", cpu, s, want)
+		}
+	}
+}

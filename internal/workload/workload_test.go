@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/clof-go/clof/internal/lockapi"
+	"github.com/clof-go/clof/internal/locks"
+	"github.com/clof-go/clof/internal/topo"
+)
+
+func mcs() lockapi.Lock { return locks.NewMCS() }
+
+func TestRunBasics(t *testing.T) {
+	cfg := LevelDB(topo.Armv8Server(), 8)
+	res, err := Run(mcs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total == 0 || res.ThroughputOpsPerUs() <= 0 {
+		t.Fatalf("no progress: %+v", res)
+	}
+	if len(res.PerThread) != 8 {
+		t.Fatalf("PerThread = %d entries", len(res.PerThread))
+	}
+	if j := res.Jain(); j < 0.5 {
+		t.Errorf("MCS Jain index %.2f unexpectedly unfair", j)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := LevelDB(topo.X86Server(), 16)
+	a, err1 := Run(mcs, cfg)
+	b, err2 := Run(mcs, cfg)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if a.Total != b.Total || a.Events != b.Events {
+		t.Errorf("identical configs diverged: %d/%d vs %d/%d", a.Total, a.Events, b.Total, b.Events)
+	}
+}
+
+func TestSeedDecorrelates(t *testing.T) {
+	cfg := LevelDB(topo.X86Server(), 16)
+	cfg2 := cfg
+	cfg2.Seed = 99
+	a, _ := Run(mcs, cfg)
+	b, _ := Run(mcs, cfg2)
+	if a.Events == b.Events && a.Total == b.Total {
+		t.Error("different seeds produced identical runs")
+	}
+}
+
+func TestExplicitCPUs(t *testing.T) {
+	m := topo.Armv8Server()
+	cfg := LevelDB(m, 0)
+	cfg.CPUs = []int{0, 1, 2, 3} // one cache group
+	res, err := Run(mcs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All handovers must stay within the cache group.
+	for lvl, c := range res.HandoverLevels {
+		if topo.Level(lvl) > topo.CacheGroup && c > 0 {
+			t.Errorf("handover at level %v despite single-group pinning", topo.Level(lvl))
+		}
+	}
+}
+
+// TestLevelDBShape: the preset must reproduce the paper's curve shape —
+// throughput rises from 1 thread, saturates, and a NUMA-oblivious lock
+// declines at full machine contention below its peak.
+func TestLevelDBShape(t *testing.T) {
+	m := topo.Armv8Server()
+	tput := func(n int) float64 {
+		res, err := Run(mcs, LevelDB(m, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.ThroughputOpsPerUs()
+	}
+	t1, t8, t128 := tput(1), tput(8), tput(128)
+	t.Logf("mcs leveldb: 1→%.2f 8→%.2f 128→%.2f iter/µs", t1, t8, t128)
+	if t1 < 0.15 || t1 > 0.8 {
+		t.Errorf("single-thread throughput %.2f outside the paper's ballpark (~0.35)", t1)
+	}
+	if t8 < 2*t1 {
+		t.Errorf("no scaling: 8 threads %.2f vs 1 thread %.2f", t8, t1)
+	}
+	if t128 >= t8 {
+		t.Errorf("MCS did not decline at full contention: 128→%.2f vs 8→%.2f", t128, t8)
+	}
+}
+
+// TestKyotoMuchSlower: Kyoto's long critical sections must land an order of
+// magnitude below LevelDB (paper Fig. 10's 0.1 vs 1.4 axis).
+func TestKyotoMuchSlower(t *testing.T) {
+	m := topo.X86Server()
+	ldb, err := Run(mcs, LevelDB(m, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kyo, err := Run(mcs, Kyoto(m, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kyo.ThroughputOpsPerUs() > ldb.ThroughputOpsPerUs()/4 {
+		t.Errorf("kyoto %.3f not well below leveldb %.3f", kyo.ThroughputOpsPerUs(), ldb.ThroughputOpsPerUs())
+	}
+}
+
+func TestPingPongDistance(t *testing.T) {
+	m := topo.Armv8Server()
+	group := PingPong(m, 0, 1, 100_000)
+	sys := PingPong(m, 0, 64, 100_000)
+	if group <= sys || sys <= 0 {
+		t.Errorf("ping-pong not distance-sensitive: group %.2f, system %.2f", group, sys)
+	}
+	if PingPong(m, 3, 3, 100_000) != 0 {
+		t.Error("same-CPU pair must report 0 (diagonal)")
+	}
+}
+
+func TestRunRejectsBadThreads(t *testing.T) {
+	if _, err := Run(mcs, LevelDB(topo.X86Server(), 1000)); err == nil {
+		t.Error("oversubscribed placement accepted")
+	}
+}

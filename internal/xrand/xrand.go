@@ -1,0 +1,52 @@
+// Package xrand provides a small, fast, deterministic pseudo-random number
+// generator (SplitMix64) for the simulator. Unlike math/rand it has an
+// explicit, copyable state and identical output across platforms, which the
+// reproducibility of simulation results depends on.
+package xrand
+
+// Rand is a SplitMix64 generator. The zero value is a valid generator seeded
+// with 0; prefer New to decorrelate streams.
+type Rand struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed.
+func New(seed uint64) *Rand {
+	return &Rand{state: seed}
+}
+
+// Uint64 returns the next 64-bit value of the stream.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value uniform in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a value uniform in [0, n). It panics if n <= 0.
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("xrand: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value uniform in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Split returns a new generator deterministically derived from this one, for
+// giving each simulated thread an independent stream.
+func (r *Rand) Split() *Rand {
+	return New(r.Uint64())
+}
