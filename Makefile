@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test check chaos figures
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full verification gate: build + vet + tests + race pass + chaos
+# determinism smoke (see scripts/check.sh).
+check:
+	scripts/check.sh
+
+# Fault-injection robustness sweep: full lock catalog x all fault presets.
+chaos:
+	$(GO) run ./cmd/clof-chaos -out figures-out/chaos.csv
+
+figures:
+	$(GO) run ./cmd/clof-figures -exp all -out figures-out

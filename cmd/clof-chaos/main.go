@@ -1,0 +1,157 @@
+// clof-chaos sweeps the fault-injection plans (internal/faultinject) across
+// the lock catalog (internal/catalog) on the simulated platform and writes a
+// CSV robustness report: throughput, fairness, abandoned acquires, injected
+// preemptions/stalls, the max handover gap, and the starvation verdict for
+// every (plan, lock, threads) point.
+//
+// The sweep is deterministic: with the same flags and seed the output file
+// is byte-identical — catalog order, sorted plan names, and the simulator's
+// seeded virtual time leave nothing to the host scheduler.
+//
+// Usage:
+//
+//	clof-chaos [-platform x86|armv8] [-locks CSV] [-plans CSV] [-threads CSV] [-seed N] [-horizon NS] [-out FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"github.com/clof-go/clof/internal/catalog"
+	"github.com/clof-go/clof/internal/faultinject"
+	"github.com/clof-go/clof/internal/lockapi"
+	"github.com/clof-go/clof/internal/topo"
+	"github.com/clof-go/clof/internal/workload"
+)
+
+// minShare is the anti-starvation gate: a thread below this fraction of the
+// mean per-thread progress counts as starved (the paper-default watchdog
+// threshold, see locktest.Watchdog).
+const minShare = 0.05
+
+func main() {
+	platform := flag.String("platform", "x86", "simulated platform: x86 or armv8")
+	locksCSV := flag.String("locks", "", "comma-separated catalog lock names (default: the full catalog)")
+	plansCSV := flag.String("plans", "", "comma-separated fault plan names (default: all presets)")
+	threadsCSV := flag.String("threads", "8,16", "comma-separated contention levels")
+	seed := flag.Uint64("seed", 42, "simulation seed (same seed => byte-identical CSV)")
+	horizon := flag.Int64("horizon", workload.DefaultHorizon, "virtual run duration in ns")
+	out := flag.String("out", filepath.Join("figures-out", "chaos.csv"), "output CSV path")
+	flag.Parse()
+
+	var mach *topo.Machine
+	switch *platform {
+	case "x86":
+		mach = topo.X86Server()
+	case "armv8":
+		mach = topo.Armv8Server()
+	default:
+		fatal(fmt.Errorf("unknown platform %q (want x86 or armv8)", *platform))
+	}
+
+	entries := catalog.Locks()
+	if *locksCSV != "" {
+		entries = nil
+		for _, name := range splitCSV(*locksCSV) {
+			e, ok := catalog.ByName(name)
+			if !ok {
+				fatal(fmt.Errorf("unknown lock %q (catalog: %s)", name, strings.Join(catalog.Names(), ", ")))
+			}
+			entries = append(entries, e)
+		}
+	}
+
+	planNames := faultinject.Names() // sorted
+	if *plansCSV != "" {
+		planNames = splitCSV(*plansCSV)
+	}
+	plans := make([]*faultinject.Plan, len(planNames))
+	for i, name := range planNames {
+		p, ok := faultinject.ByName(name)
+		if !ok {
+			fatal(fmt.Errorf("unknown fault plan %q (presets: %s)", name, strings.Join(faultinject.Names(), ", ")))
+		}
+		plans[i] = p
+	}
+
+	var grid []int
+	for _, s := range splitCSV(*threadsCSV) {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			fatal(err)
+		}
+		if n < 1 || n > mach.NumCPUs() {
+			fatal(fmt.Errorf("thread count %d outside 1..%d for %s", n, mach.NumCPUs(), mach.Name))
+		}
+		grid = append(grid, n)
+	}
+
+	var b strings.Builder
+	b.WriteString("plan,lock,family,threads,total,iter_per_us,jain,abandoned,preemptions,stalls,max_handover_gap_ns,starved\n")
+	points := len(plans) * len(entries) * len(grid)
+	fmt.Fprintf(os.Stderr, "chaos sweep: %s, %d locks x %d plans x %d contention levels = %d points\n",
+		mach.Name, len(entries), len(plans), len(grid), points)
+
+	starvedTotal := 0
+	for pi, plan := range plans {
+		for _, e := range entries {
+			e := e
+			for _, threads := range grid {
+				cfg := workload.LevelDB(mach, threads)
+				cfg.Horizon = *horizon
+				cfg.Seed = *seed
+				cfg.Faults = plan
+				res, err := workload.Run(func() lockapi.Lock { return e.New(mach) }, cfg)
+				if err != nil {
+					fatal(fmt.Errorf("plan %s, lock %s, %d threads: %w", planNames[pi], e.Name, threads, err))
+				}
+				if res.ExclusionViolations > 0 {
+					fatal(fmt.Errorf("plan %s, lock %s, %d threads: %d mutual-exclusion violations",
+						planNames[pi], e.Name, threads, res.ExclusionViolations))
+				}
+				starved := len(res.Starved(minShare))
+				starvedTotal += starved
+				fmt.Fprintf(&b, "%s,%s,%s,%d,%d,%s,%s,%d,%d,%d,%d,%d\n",
+					planNames[pi], e.Name, e.Family, threads,
+					res.Total,
+					strconv.FormatFloat(res.ThroughputOpsPerUs(), 'f', 4, 64),
+					strconv.FormatFloat(res.Jain(), 'f', 4, 64),
+					res.Abandoned, res.Preemptions, res.Stalls,
+					res.MaxHandoverGapNS, starved)
+			}
+		}
+	}
+
+	if err := os.MkdirAll(filepath.Dir(*out), 0o755); err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d rows)\n", *out, points)
+	if starvedTotal > 0 {
+		fmt.Printf("watchdog: %d starved-thread observations (threads below %.0f%% of mean progress)\n",
+			starvedTotal, minShare*100)
+	} else {
+		fmt.Println("watchdog: no starvation observed")
+	}
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "clof-chaos:", err)
+	os.Exit(1)
+}

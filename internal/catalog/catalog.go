@@ -1,0 +1,134 @@
+// Package catalog enumerates the repository's lock families behind one
+// machine-parameterized constructor list, for harnesses that sweep "every
+// lock" — the chaos CLI (cmd/clof-chaos), the trylock conformance suite
+// (internal/locktest), and future benchmark drivers.
+//
+// It exists as a separate package (rather than in locktest) because the
+// lock packages' own tests import locktest: a catalog inside locktest would
+// close an import cycle through internal/locks et al.
+//
+// The catalog order is fixed and documented: basics first (sorted by name),
+// then the NUMA-aware singles, then the hierarchical families. Sweeps that
+// iterate in catalog order are therefore deterministic without sorting.
+package catalog
+
+import (
+	"github.com/clof-go/clof/internal/clof"
+	"github.com/clof-go/clof/internal/cna"
+	"github.com/clof-go/clof/internal/cohort"
+	"github.com/clof-go/clof/internal/hmcs"
+	"github.com/clof-go/clof/internal/lockapi"
+	"github.com/clof-go/clof/internal/locks"
+	"github.com/clof-go/clof/internal/shfllock"
+	"github.com/clof-go/clof/internal/topo"
+)
+
+// Entry is one catalog lock: a stable name, the family it belongs to, and a
+// constructor taking the target machine (NUMA-oblivious locks ignore it).
+type Entry struct {
+	// Name identifies the lock in reports, e.g. "mcs", "c-bo-mcs",
+	// "clof:tkt-clh-tkt-tkt".
+	Name string
+	// Family groups entries for filtering: "basic", "hbo", "cna", "shfl",
+	// "hmcs", "cohort", "clof".
+	Family string
+	// New builds a fresh, unheld instance for machine m.
+	New func(m *topo.Machine) lockapi.Lock
+}
+
+// hierFor returns the paper's hierarchy configuration for m's architecture
+// (the 4-level configurations of §5.2.1).
+func hierFor(m *topo.Machine) *topo.Hierarchy {
+	if m.Arch == topo.X86 {
+		return topo.MustHierarchy(m, topo.Core, topo.CacheGroup, topo.NUMA, topo.System)
+	}
+	return topo.MustHierarchy(m, topo.CacheGroup, topo.NUMA, topo.Package, topo.System)
+}
+
+// compFor resolves a composition string against the catalog machine.
+func compFor(notation string) clof.Composition {
+	comp, err := clof.ParseComposition(notation)
+	if err != nil {
+		panic(err)
+	}
+	return comp
+}
+
+// Locks returns the full catalog in its fixed order. Each call returns
+// fresh Entry values; constructors may be called many times.
+func Locks() []Entry {
+	var out []Entry
+	// Basic NUMA-oblivious locks, in locks.Names() (sorted) order.
+	for _, name := range locks.Names() {
+		t := locks.MustType(name)
+		out = append(out, Entry{
+			Name:   t.Name,
+			Family: "basic",
+			New:    func(*topo.Machine) lockapi.Lock { return t.New() },
+		})
+	}
+	// NUMA-aware single-level-aware baselines.
+	out = append(out,
+		Entry{Name: "hbo", Family: "hbo", New: func(m *topo.Machine) lockapi.Lock { return locks.NewHBO(m) }},
+		Entry{Name: "cna", Family: "cna", New: func(m *topo.Machine) lockapi.Lock { return cna.New(m) }},
+		Entry{Name: "shfllock", Family: "shfl", New: func(m *topo.Machine) lockapi.Lock { return shfllock.New(m) }},
+	)
+	// Hierarchical baselines and CLoF compositions.
+	out = append(out,
+		Entry{Name: "hmcs<4>", Family: "hmcs", New: func(m *topo.Machine) lockapi.Lock {
+			return hmcs.Must(hierFor(m))
+		}},
+		Entry{Name: "c-bo-mcs", Family: "cohort", New: func(m *topo.Machine) lockapi.Lock {
+			return cohort.NewBOMCS(m)
+		}},
+		Entry{Name: "c-tkt-tkt", Family: "cohort", New: func(m *topo.Machine) lockapi.Lock {
+			return cohort.NewTKTTKT(m)
+		}},
+		Entry{Name: "clof:tkt-tkt-tkt-tkt", Family: "clof", New: func(m *topo.Machine) lockapi.Lock {
+			return clof.Must(hierFor(m), compFor("tkt-tkt-tkt-tkt"))
+		}},
+		Entry{Name: "clof:mcs-mcs-mcs-mcs", Family: "clof", New: func(m *topo.Machine) lockapi.Lock {
+			return clof.Must(hierFor(m), compFor("mcs-mcs-mcs-mcs"))
+		}},
+		Entry{Name: "clof:tkt-clh-tkt-tkt", Family: "clof", New: func(m *topo.Machine) lockapi.Lock {
+			return clof.Must(hierFor(m), compFor("tkt-clh-tkt-tkt"))
+		}},
+		Entry{Name: "clof:tas-fastpath", Family: "clof", New: func(m *topo.Machine) lockapi.Lock {
+			return clof.Must(hierFor(m), compFor("tkt-tkt-tkt-tkt"), clof.WithTASFastPath())
+		}},
+	)
+	return out
+}
+
+// ByName returns the named entry.
+func ByName(name string) (Entry, bool) {
+	for _, e := range Locks() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Names lists the catalog names in catalog order.
+func Names() []string {
+	ls := Locks()
+	out := make([]string, len(ls))
+	for i, e := range ls {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// Families lists the catalog's family tags in catalog order (deduplicated).
+func Families() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, e := range Locks() {
+		if !seen[e.Family] {
+			seen[e.Family] = true
+			out = append(out, e.Family)
+		}
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package catalog
+
+import (
+	"testing"
+
+	"github.com/clof-go/clof/internal/lockapi"
+	"github.com/clof-go/clof/internal/topo"
+)
+
+// TestCatalogConstructsEverywhere: every entry builds and performs one
+// uncontended acquire/release on both evaluation platforms.
+func TestCatalogConstructsEverywhere(t *testing.T) {
+	for _, m := range []*topo.Machine{topo.X86Server(), topo.Armv8Server()} {
+		for _, e := range Locks() {
+			l := e.New(m)
+			p := lockapi.NewNativeProc(0)
+			c := l.NewCtx()
+			l.Acquire(p, c)
+			l.Release(p, c)
+		}
+	}
+}
+
+func TestCatalogOrderStable(t *testing.T) {
+	a, b := Names(), Names()
+	if len(a) == 0 {
+		t.Fatal("empty catalog")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("catalog order unstable at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCatalogNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, n := range Names() {
+		if seen[n] {
+			t.Errorf("duplicate catalog name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("mcs"); !ok {
+		t.Error("mcs missing from catalog")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("bogus name resolved")
+	}
+}
+
+// TestFamiliesCoverIssueMinimum: the chaos sweep needs >= 3 families.
+func TestFamiliesCoverIssueMinimum(t *testing.T) {
+	if f := Families(); len(f) < 3 {
+		t.Fatalf("catalog has %d families, need >= 3: %v", len(f), f)
+	}
+}

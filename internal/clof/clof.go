@@ -135,6 +135,10 @@ type Lock struct {
 	fastPath   bool
 	fast       lockapi.Cell
 	slowActive lockapi.Cell
+
+	// canTry records whether every component lock supports TryAcquire, which
+	// is what the composed TryAcquire needs to climb-and-roll-back.
+	canTry bool
 }
 
 // Option customizes New.
@@ -217,6 +221,17 @@ func New(h *topo.Hierarchy, comp Composition, opts ...Option) (*Lock, error) {
 		parents = nodes
 	}
 	l.leaves = parents
+
+	// The composition supports TryAcquire iff every level's basic lock does
+	// (checked on one leaf-to-root chain; levels are type-homogeneous).
+	l.canTry = true
+	for n := l.leaves[0]; n != nil; n = n.parent {
+		_, isTry := n.lock.(lockapi.TryLocker)
+		if !isTry || !lockapi.SupportsTry(n.lock) {
+			l.canTry = false
+			break
+		}
+	}
 	return l, nil
 }
 
@@ -320,6 +335,64 @@ func (l *Lock) acquireNode(p lockapi.Proc, n *levelLock, c lockapi.Ctx) {
 	}
 }
 
+// TrySupported implements lockapi.TryInfo: the composition supports
+// TryAcquire when every component lock does (the try climb must be able to
+// roll back from any level), or unconditionally with the TAS fast path
+// (which tries the fast word alone and never climbs).
+func (l *Lock) TrySupported() bool { return l.fastPath || l.canTry }
+
+// TryAcquire implements lockapi.TryLocker. With the fast path the attempt
+// is a single bounded-stealing CAS on the TAS word. Otherwise it climbs
+// leaf-to-root with each level's TryAcquire and rolls back — releasing the
+// low lock — as soon as one level refuses; a successor then finds highHeld
+// clear and climbs itself, so the rollback leaves ordinary lock state. The
+// waiters read-indicator is skipped on the try path: releasers then at worst
+// under-count waiters and conservatively give the high lock away, which is
+// the safe direction (paper §4.1.2).
+func (l *Lock) TryAcquire(p lockapi.Proc, c lockapi.Ctx) bool {
+	tc := c.(*threadCtx)
+	if l.fastPath {
+		if p.Load(&l.fast, lockapi.Relaxed) == 0 &&
+			p.Load(&l.slowActive, lockapi.Relaxed) == 0 &&
+			p.CAS(&l.fast, 0, 1, lockapi.Acquire) {
+			tc.fastOnly = true
+			return true
+		}
+		return false
+	}
+	if !l.canTry {
+		return false
+	}
+	cohort := l.hier.Machine.CohortOf(p.ID(), l.lowLevel)
+	leaf := l.leaves[cohort]
+	ctx := tc.leafCtxs[cohort]
+	if !l.tryAcquireNode(p, leaf, ctx) {
+		return false
+	}
+	tc.held, tc.heldCtx = leaf, ctx
+	return true
+}
+
+// tryAcquireNode is acquireNode with refusal instead of waiting.
+func (l *Lock) tryAcquireNode(p lockapi.Proc, n *levelLock, c lockapi.Ctx) bool {
+	if n.parent == nil {
+		return n.lock.(lockapi.TryLocker).TryAcquire(p, c)
+	}
+	if !n.lock.(lockapi.TryLocker).TryAcquire(p, c) {
+		return false
+	}
+	if p.Load(&n.highHeld, lockapi.Relaxed) != 0 {
+		return true // the high lock was passed within this cohort
+	}
+	if l.tryAcquireNode(p, n.parent, n.highCtx) {
+		return true
+	}
+	// Roll back: we hold the low lock but not the high one, and highHeld is
+	// 0, so a plain low release restores ordinary state.
+	n.lock.Release(p, c)
+	return false
+}
+
 // Release implements lockapi.Lock.
 func (l *Lock) Release(p lockapi.Proc, c lockapi.Ctx) {
 	tc := c.(*threadCtx)
@@ -385,4 +458,6 @@ func (l *Lock) hasWaiters(p lockapi.Proc, n *levelLock, c lockapi.Ctx) bool {
 var (
 	_ lockapi.Lock         = (*Lock)(nil)
 	_ lockapi.FairnessInfo = (*Lock)(nil)
+	_ lockapi.TryLocker    = (*Lock)(nil)
+	_ lockapi.TryInfo      = (*Lock)(nil)
 )

@@ -93,6 +93,18 @@ func (l *Lock) Acquire(p lockapi.Proc, c lockapi.Ctx) {
 	}
 }
 
+// TryAcquire implements lockapi.TryLocker: succeed only when the queue is
+// empty, exactly the Acquire fast path. A failed CAS published no node, so
+// the releaser's scan can never reach an abandoned waiter.
+func (l *Lock) TryAcquire(p lockapi.Proc, c lockapi.Ctx) bool {
+	me := c.(*ctxT).id
+	n := l.node(me)
+	p.Store(&n.next, 0, lockapi.Relaxed)
+	p.Store(&n.spin, 0, lockapi.Relaxed)
+	p.Store(&n.numa, uint64(l.mach.CohortOf(p.ID(), topo.NUMA)), lockapi.Relaxed)
+	return p.CAS(&l.tail, 0, me, lockapi.AcqRel)
+}
+
 // Release implements lockapi.Lock.
 func (l *Lock) Release(p lockapi.Proc, c lockapi.Ctx) {
 	me := c.(*ctxT).id
@@ -212,4 +224,5 @@ func (l *Lock) Fair() bool { return true }
 var (
 	_ lockapi.Lock         = (*Lock)(nil)
 	_ lockapi.FairnessInfo = (*Lock)(nil)
+	_ lockapi.TryLocker    = (*Lock)(nil)
 )

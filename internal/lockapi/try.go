@@ -1,0 +1,131 @@
+package lockapi
+
+// This file extends the lock interface with the *bounded acquire* surface
+// used by the fault-injection substrate (internal/faultinject and
+// cmd/clof-chaos): a non-blocking TryAcquire capability, a runtime
+// capability flag for locks that support it only conditionally (or decline
+// it outright), and the shared bounded exponential-backoff helper that both
+// the backoff-family locks and bounded acquisition loops build on.
+
+// TryLocker is implemented by locks that support a non-blocking acquire.
+//
+// TryAcquire performs a bounded number of memory operations and never calls
+// Proc.Spin. On success the caller holds the lock exactly as after Acquire
+// and must release it with Release using the same Ctx. On failure the lock's
+// shared state is semantically unchanged: in particular no queue node
+// remains published, so the failed caller may walk away (an "abandoned
+// acquire") without ever touching the lock again — the property the chaos
+// harness relies on.
+//
+// Locks whose support is conditional (CLoF compositions: every component
+// lock must itself support trylock) additionally implement TryInfo; callers
+// must consult SupportsTry rather than type-asserting TryLocker directly.
+type TryLocker interface {
+	TryAcquire(p Proc, c Ctx) bool
+}
+
+// TryInfo reports at runtime whether TryAcquire is usable on this instance.
+// Two uses: compositions whose capability depends on their components, and
+// locks that cannot support trylock at all (HMCS, whose tree acquisition
+// cannot be rolled back without waiting) and implement TryInfo alone as an
+// explicit declination flag.
+type TryInfo interface {
+	TrySupported() bool
+}
+
+// SupportsTry reports whether l supports non-blocking acquisition: the
+// TryInfo answer when the lock provides one, the presence of TryLocker
+// otherwise.
+func SupportsTry(l Lock) bool {
+	if ti, ok := l.(TryInfo); ok {
+		return ti.TrySupported()
+	}
+	_, ok := l.(TryLocker)
+	return ok
+}
+
+// TryAcquire attempts a non-blocking acquisition of l and reports
+// (supported, acquired). supported=false means the lock declines the
+// capability and its state was not touched.
+func TryAcquire(l Lock, p Proc, c Ctx) (supported, acquired bool) {
+	if !SupportsTry(l) {
+		return false, false
+	}
+	return true, l.(TryLocker).TryAcquire(p, c)
+}
+
+// DefaultBackoffCap is the spin cap an ExpBackoff with Cap==0 uses; it
+// matches the historical cap of the BO lock.
+const DefaultBackoffCap = 64
+
+// ExpBackoff is the shared bounded exponential-backoff helper: each Pause
+// spins (Proc.Spin) for a doubling number of iterations, never exceeding
+// Cap per pause. The zero value starts at one spin and caps at
+// DefaultBackoffCap. Callers may retarget Base/Cap between pauses (HBO does,
+// by owner distance); the doubling progress is kept across such changes.
+//
+// ExpBackoff is per-thread state and must not be shared.
+type ExpBackoff struct {
+	// Base is the first pause's spin count (minimum 1).
+	Base int
+	// Cap bounds the spins of a single pause (0 = DefaultBackoffCap).
+	Cap int
+	cur int
+}
+
+// Pause backs off once: Spin between Base and Cap times, then double the
+// next pause. It returns the number of spins issued (tests assert the
+// bound).
+func (b *ExpBackoff) Pause(p Proc) int {
+	base, lim := b.Base, b.Cap
+	if base < 1 {
+		base = 1
+	}
+	if lim <= 0 {
+		lim = DefaultBackoffCap
+	}
+	if b.cur < base {
+		b.cur = base
+	}
+	n := b.cur
+	if n > lim {
+		n = lim
+	}
+	for i := 0; i < n; i++ {
+		p.Spin()
+	}
+	// Grow from the issued (clamped) count so a Cap reduction takes effect
+	// immediately and growth can never run away past 2*Cap.
+	b.cur = n * 2
+	return n
+}
+
+// Reset restarts the backoff sequence at Base.
+func (b *ExpBackoff) Reset() { b.cur = 0 }
+
+// AcquireBounded attempts to acquire l at most `attempts` times with
+// exponential backoff between failed attempts. It reports (supported,
+// acquired); supported=false means the lock declines TryAcquire and nothing
+// was attempted. bo may be nil, in which case a default ExpBackoff is used.
+//
+// On backends that fast-forward spin waits (memsim, mcheck) a backoff pause
+// may sleep until the lock's state next changes, so `attempts` bounds the
+// number of lock-state changes observed, not wall time.
+func AcquireBounded(l Lock, p Proc, c Ctx, attempts int, bo *ExpBackoff) (supported, acquired bool) {
+	if !SupportsTry(l) {
+		return false, false
+	}
+	tl := l.(TryLocker)
+	if bo == nil {
+		bo = &ExpBackoff{}
+	}
+	for i := 0; i < attempts; i++ {
+		if tl.TryAcquire(p, c) {
+			return true, true
+		}
+		if i < attempts-1 {
+			bo.Pause(p)
+		}
+	}
+	return true, false
+}

@@ -5,6 +5,16 @@ import (
 	"github.com/clof-go/clof/internal/topo"
 )
 
+// Default HBO tuning. LocalDelay/RemoteDelay are the backoff bases in Spin()
+// hints; MaxDelay caps any single pause. The historical (pre-option)
+// constants were localDelay=2, remoteDelay=16 with an implicit cap of
+// 64*base, which these defaults reproduce: max(64*2, 64*16) = 1024.
+const (
+	DefaultHBOLocalDelay  = 2
+	DefaultHBORemoteDelay = 16
+	DefaultHBOMaxDelay    = 1024
+)
+
 // HBO is the Hierarchical Backoff lock of Radovic and Hagersten (HPCA'03),
 // the earliest NUMA-aware lock the paper's related work cites [35]: a
 // test-and-set lock whose word records the owner's NUMA node, and whose
@@ -15,22 +25,77 @@ type HBO struct {
 	mach *topo.Machine
 	// word holds 0 when free, else 1 + the owner's NUMA node.
 	word lockapi.Cell
-	// localDelay/remoteDelay are the backoff bases in Spin() hints.
-	localDelay, remoteDelay int
+	// localDelay/remoteDelay are the backoff bases in Spin() hints;
+	// maxDelay bounds a single pause regardless of base.
+	localDelay, remoteDelay, maxDelay int
+}
+
+// HBOOption tunes an HBO lock at construction time.
+type HBOOption func(*HBO)
+
+// WithHBOLocalDelay sets the backoff base used when the observed owner is on
+// the waiter's own NUMA node.
+func WithHBOLocalDelay(d int) HBOOption {
+	return func(l *HBO) { l.localDelay = d }
+}
+
+// WithHBORemoteDelay sets the backoff base used when the observed owner is
+// on a different NUMA node.
+func WithHBORemoteDelay(d int) HBOOption {
+	return func(l *HBO) { l.remoteDelay = d }
+}
+
+// WithHBOMaxDelay caps the spins of a single backoff pause. The effective
+// per-pause cap is min(64*base, MaxDelay), so lowering MaxDelay below
+// 64*RemoteDelay shortens the worst-case remote pause.
+func WithHBOMaxDelay(d int) HBOOption {
+	return func(l *HBO) { l.maxDelay = d }
 }
 
 // NewHBO returns an unheld hierarchical backoff lock for machine m.
-func NewHBO(m *topo.Machine) *HBO {
-	return &HBO{mach: m, localDelay: 2, remoteDelay: 16}
+func NewHBO(m *topo.Machine, opts ...HBOOption) *HBO {
+	l := &HBO{
+		mach:        m,
+		localDelay:  DefaultHBOLocalDelay,
+		remoteDelay: DefaultHBORemoteDelay,
+		maxDelay:    DefaultHBOMaxDelay,
+	}
+	for _, o := range opts {
+		o(l)
+	}
+	if l.localDelay < 1 {
+		l.localDelay = 1
+	}
+	if l.remoteDelay < 1 {
+		l.remoteDelay = 1
+	}
+	if l.maxDelay < 1 {
+		l.maxDelay = 1
+	}
+	return l
+}
+
+// Delays reports the configured (local, remote, max) backoff parameters.
+func (l *HBO) Delays() (local, remote, max int) {
+	return l.localDelay, l.remoteDelay, l.maxDelay
 }
 
 // NewCtx implements lockapi.Lock; HBO needs no context.
 func (l *HBO) NewCtx() lockapi.Ctx { return nil }
 
+// capFor bounds one pause given the observed owner's backoff base.
+func (l *HBO) capFor(base int) int {
+	c := 64 * base
+	if c > l.maxDelay {
+		c = l.maxDelay
+	}
+	return c
+}
+
 // Acquire implements lockapi.Lock.
 func (l *HBO) Acquire(p lockapi.Proc, _ lockapi.Ctx) {
 	myNuma := uint64(l.mach.CohortOf(p.ID(), topo.NUMA))
-	delay := l.localDelay
+	bo := lockapi.ExpBackoff{Base: l.localDelay}
 	for {
 		if p.CAS(&l.word, 0, 1+myNuma, lockapi.Acquire) {
 			return
@@ -44,13 +109,15 @@ func (l *HBO) Acquire(p lockapi.Proc, _ lockapi.Ctx) {
 		if owner-1 != myNuma {
 			base = l.remoteDelay
 		}
-		for i := 0; i < delay; i++ {
-			p.Spin()
-		}
-		if delay < 64*base {
-			delay *= 2
-		}
+		bo.Cap = l.capFor(base)
+		bo.Pause(p)
 	}
+}
+
+// TryAcquire implements lockapi.TryLocker: the CAS fast path, no backoff.
+func (l *HBO) TryAcquire(p lockapi.Proc, _ lockapi.Ctx) bool {
+	myNuma := uint64(l.mach.CohortOf(p.ID(), topo.NUMA))
+	return p.CAS(&l.word, 0, 1+myNuma, lockapi.Acquire)
 }
 
 // Release implements lockapi.Lock.
@@ -64,4 +131,5 @@ func (l *HBO) Fair() bool { return false }
 var (
 	_ lockapi.Lock         = (*HBO)(nil)
 	_ lockapi.FairnessInfo = (*HBO)(nil)
+	_ lockapi.TryLocker    = (*HBO)(nil)
 )

@@ -102,6 +102,13 @@ func (l *Hemlock) Acquire(p lockapi.Proc, c lockapi.Ctx) {
 	l.storeGrant(p, pg, l.id, 0, lockapi.Release)
 }
 
+// TryAcquire implements lockapi.TryLocker: succeed only when the implicit
+// queue is empty. A failed CAS enqueued nothing — the grant protocol is
+// never entered.
+func (l *Hemlock) TryAcquire(p lockapi.Proc, c lockapi.Ctx) bool {
+	return p.CAS(&l.tail, 0, c.(*hemCtx).id, lockapi.AcqRel)
+}
+
 // Release implements lockapi.Lock.
 func (l *Hemlock) Release(p lockapi.Proc, c lockapi.Ctx) {
 	ctx := c.(*hemCtx)
@@ -130,4 +137,5 @@ var (
 	_ lockapi.Lock           = (*Hemlock)(nil)
 	_ lockapi.WaiterDetector = (*Hemlock)(nil)
 	_ lockapi.FairnessInfo   = (*Hemlock)(nil)
+	_ lockapi.TryLocker      = (*Hemlock)(nil)
 )

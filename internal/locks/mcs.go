@@ -62,6 +62,16 @@ func (l *MCS) Acquire(p lockapi.Proc, c lockapi.Ctx) {
 	}
 }
 
+// TryAcquire implements lockapi.TryLocker: succeed only when the queue is
+// empty. On success our node becomes the tail exactly as on the Acquire fast
+// path; on failure nothing was published, so the caller may walk away.
+func (l *MCS) TryAcquire(p lockapi.Proc, c lockapi.Ctx) bool {
+	ctx := c.(*mcsCtx)
+	n := l.node(ctx.id)
+	p.Store(&n.next, 0, lockapi.Relaxed)
+	return p.CAS(&l.tail, 0, ctx.id, lockapi.AcqRel)
+}
+
 // Release implements lockapi.Lock.
 func (l *MCS) Release(p lockapi.Proc, c lockapi.Ctx) {
 	ctx := c.(*mcsCtx)
@@ -96,4 +106,5 @@ var (
 	_ lockapi.Lock           = (*MCS)(nil)
 	_ lockapi.WaiterDetector = (*MCS)(nil)
 	_ lockapi.FairnessInfo   = (*MCS)(nil)
+	_ lockapi.TryLocker      = (*MCS)(nil)
 )

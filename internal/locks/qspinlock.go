@@ -141,6 +141,12 @@ func (l *QSpin) enqueue(p lockapi.Proc, me uint64) {
 	}
 }
 
+// TryAcquire implements lockapi.TryLocker: the uncontended fast path only
+// (word fully zero — no owner, no pending waiter, no queue).
+func (l *QSpin) TryAcquire(p lockapi.Proc, _ lockapi.Ctx) bool {
+	return p.CAS(&l.word, 0, qLocked, lockapi.Acquire)
+}
+
 // Release implements lockapi.Lock: clear the locked bit (pending/queued
 // waiters claim it themselves).
 func (l *QSpin) Release(p lockapi.Proc, _ lockapi.Ctx) {
@@ -161,4 +167,5 @@ func (l *QSpin) Fair() bool { return false }
 var (
 	_ lockapi.Lock         = (*QSpin)(nil)
 	_ lockapi.FairnessInfo = (*QSpin)(nil)
+	_ lockapi.TryLocker    = (*QSpin)(nil)
 )

@@ -24,6 +24,11 @@ func (l *TAS) Acquire(p lockapi.Proc, _ lockapi.Ctx) {
 	}
 }
 
+// TryAcquire implements lockapi.TryLocker: one CAS, no waiting.
+func (l *TAS) TryAcquire(p lockapi.Proc, _ lockapi.Ctx) bool {
+	return p.CAS(&l.word, 0, 1, lockapi.Acquire)
+}
+
 // Release implements lockapi.Lock.
 func (l *TAS) Release(p lockapi.Proc, _ lockapi.Ctx) {
 	p.Store(&l.word, 0, lockapi.Release)
@@ -57,6 +62,11 @@ func (l *TTAS) Acquire(p lockapi.Proc, _ lockapi.Ctx) {
 	}
 }
 
+// TryAcquire implements lockapi.TryLocker: one CAS, no waiting.
+func (l *TTAS) TryAcquire(p lockapi.Proc, _ lockapi.Ctx) bool {
+	return p.CAS(&l.word, 0, 1, lockapi.Acquire)
+}
+
 // Release implements lockapi.Lock.
 func (l *TTAS) Release(p lockapi.Proc, _ lockapi.Ctx) {
 	p.Store(&l.word, 0, lockapi.Release)
@@ -82,20 +92,20 @@ func (l *Backoff) NewCtx() lockapi.Ctx { return nil }
 
 // Acquire implements lockapi.Lock.
 func (l *Backoff) Acquire(p lockapi.Proc, _ lockapi.Ctx) {
-	delay := 1
+	bo := lockapi.ExpBackoff{Base: 1, Cap: l.maxDelay}
 	for {
 		for p.Load(&l.word, lockapi.Relaxed) == 1 {
-			for i := 0; i < delay; i++ {
-				p.Spin()
-			}
-			if delay < l.maxDelay {
-				delay *= 2
-			}
+			bo.Pause(p)
 		}
 		if p.CAS(&l.word, 0, 1, lockapi.Acquire) {
 			return
 		}
 	}
+}
+
+// TryAcquire implements lockapi.TryLocker: one CAS, no backoff.
+func (l *Backoff) TryAcquire(p lockapi.Proc, _ lockapi.Ctx) bool {
+	return p.CAS(&l.word, 0, 1, lockapi.Acquire)
 }
 
 // Release implements lockapi.Lock.
@@ -113,4 +123,7 @@ var (
 	_ lockapi.FairnessInfo = (*TAS)(nil)
 	_ lockapi.FairnessInfo = (*TTAS)(nil)
 	_ lockapi.FairnessInfo = (*Backoff)(nil)
+	_ lockapi.TryLocker    = (*TAS)(nil)
+	_ lockapi.TryLocker    = (*TTAS)(nil)
+	_ lockapi.TryLocker    = (*Backoff)(nil)
 )

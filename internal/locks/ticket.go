@@ -35,6 +35,19 @@ func (l *Ticket) Acquire(p lockapi.Proc, _ lockapi.Ctx) {
 	}
 }
 
+// TryAcquire implements lockapi.TryLocker: claim the next ticket only if the
+// lock looks free, with a CAS so no ticket is consumed on failure. The
+// ticket is read before the grant: grant cannot pass an unclaimed ticket, so
+// t==g and a successful CAS on ticket t together imply we are the owner.
+func (l *Ticket) TryAcquire(p lockapi.Proc, _ lockapi.Ctx) bool {
+	t := p.Load(&l.ticket, lockapi.Relaxed)
+	g := p.Load(&l.grant, lockapi.Relaxed)
+	if t != g {
+		return false
+	}
+	return p.CAS(&l.ticket, t, t+1, lockapi.Acquire)
+}
+
 // Release implements lockapi.Lock. Only the owner writes grant, so a plain
 // store of grant+1 would do; the fetch-and-add matches the common
 // implementation and is atomic on all backends.
@@ -65,4 +78,5 @@ var (
 	_ lockapi.Lock           = (*Ticket)(nil)
 	_ lockapi.WaiterDetector = (*Ticket)(nil)
 	_ lockapi.FairnessInfo   = (*Ticket)(nil)
+	_ lockapi.TryLocker      = (*Ticket)(nil)
 )

@@ -1,0 +1,124 @@
+package mcheck
+
+import "strings"
+
+// Liveness mode: bounded-bypass escalation.
+//
+// A single FairnessK check cannot distinguish "a waiter may be passed over a
+// few times" (acceptable for TAS-family locks under light contention) from
+// "a waiter can be passed over forever" (starvation). The checker's state
+// fingerprints include a monotone per-thread operation index, so lasso-style
+// cycle detection is unavailable; instead CheckLiveness runs the bounded
+// check twice, at K and at 2K. A lock whose bypass is genuinely bounded by
+// some constant B violates K for K <= B but verifies clean once K > B;
+// a lock with an unbounded passover loop (e.g. TTAS, where the winner can
+// re-acquire arbitrarily often while a spinner waits) violates every K. The
+// K/2K escalation therefore classifies:
+//
+//   - clean at K                 → LivenessFair
+//   - violation at K, clean at 2K → LivenessBoundedBypass
+//   - violation at K and at 2K    → LivenessUnboundedBypass
+//
+// The classification is exact only when the program performs enough
+// acquisitions for 2K bypasses to be reachable: with T threads of I
+// iterations each, a continuously-waiting thread can be bypassed at most
+// (T-1)*I times, so callers must pick I with (T-1)*I >= 2K (CheckLiveness
+// does not enforce this; too-small programs degrade toward
+// LivenessBoundedBypass, the conservative direction for a starvation
+// verdict).
+
+// LivenessVerdict classifies a program's waiter-passover behavior.
+type LivenessVerdict int
+
+const (
+	// LivenessFair: no waiter is ever bypassed K times (bounded bypass
+	// holds at the requested K).
+	LivenessFair LivenessVerdict = iota
+	// LivenessBoundedBypass: waiters can be bypassed at least K times but
+	// provably fewer than 2K — passover exists but is bounded.
+	LivenessBoundedBypass
+	// LivenessUnboundedBypass: waiters are bypassed at both K and 2K —
+	// the passover pattern scales with the bound, i.e. starvation.
+	LivenessUnboundedBypass
+	// LivenessOtherViolation: the search hit a non-fairness violation
+	// (mutual exclusion, deadlock, final-state) before any verdict on
+	// bypass could be made; see AtK/At2K for the message.
+	LivenessOtherViolation
+	// LivenessInconclusive: a state or depth budget was exhausted before
+	// the search could decide.
+	LivenessInconclusive
+)
+
+// String names the verdict.
+func (v LivenessVerdict) String() string {
+	switch v {
+	case LivenessFair:
+		return "fair"
+	case LivenessBoundedBypass:
+		return "bounded-bypass"
+	case LivenessUnboundedBypass:
+		return "unbounded-bypass"
+	case LivenessOtherViolation:
+		return "other-violation"
+	default:
+		return "inconclusive"
+	}
+}
+
+// LivenessResult carries the verdict and the underlying search results.
+type LivenessResult struct {
+	Verdict LivenessVerdict
+	// K is the base bypass bound the escalation started from.
+	K int
+	// AtK is the search result with FairnessK = K; At2K is the escalated
+	// search (zero value when the first search already decided).
+	AtK, At2K Result
+}
+
+// bypassViolationPrefix matches the violation emitted by Proc.EndWait.
+const bypassViolationPrefix = "bounded bypass violated"
+
+// IsBypassViolation reports whether a result's violation is the fairness
+// (bounded-bypass) property, as opposed to exclusion/deadlock/final-state.
+func IsBypassViolation(r Result) bool {
+	return strings.HasPrefix(r.Violation, bypassViolationPrefix)
+}
+
+// CheckLiveness explores prog under cfg with the bounded-bypass check at
+// FairnessK = k, escalating to 2k when a bypass witness is found, and
+// classifies the passover behavior (see the package comment above). k <= 0
+// defaults to 2 — the smallest bound a FIFO lock can pass, since a thread
+// may be overtaken once between announcing its wait and publishing its
+// queue/ticket position. cfg.FairnessK is overwritten by the escalation.
+func CheckLiveness(prog Program, cfg Config, k int) LivenessResult {
+	if k <= 0 {
+		k = 2
+	}
+	cfg.FairnessK = k
+	out := LivenessResult{K: k, AtK: Check(prog, cfg)}
+	switch {
+	case out.AtK.OK:
+		out.Verdict = LivenessFair
+		return out
+	case out.AtK.Violation == "":
+		// Truncated without a witness.
+		out.Verdict = LivenessInconclusive
+		return out
+	case !IsBypassViolation(out.AtK):
+		out.Verdict = LivenessOtherViolation
+		return out
+	}
+	cfg.FairnessK = 2 * k
+	out.At2K = Check(prog, cfg)
+	switch {
+	case IsBypassViolation(out.At2K):
+		out.Verdict = LivenessUnboundedBypass
+	case out.At2K.OK:
+		out.Verdict = LivenessBoundedBypass
+	case out.At2K.Violation == "":
+		out.Verdict = LivenessInconclusive
+	default:
+		out.Verdict = LivenessOtherViolation
+	}
+	return out
+}

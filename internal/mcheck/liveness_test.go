@@ -1,0 +1,52 @@
+package mcheck
+
+import "testing"
+
+// livenessIters is sized so the 2K escalation is meaningful: with 2 threads,
+// a continuously-waiting thread can be bypassed at most iters times, so
+// iters must be >= 2K = 4 (see the liveness package comment).
+const livenessIters = 5
+
+// TestTTASUnboundedBypass: TTAS's winner can re-acquire arbitrarily often
+// while the loser spins — the bypass witness must survive the escalation
+// from K=2 to K=4, classifying as unbounded passover (starvation).
+func TestTTASUnboundedBypass(t *testing.T) {
+	cfg := Config{Mode: SC, MaxStates: 1_000_000}
+	res := CheckLiveness(LockProgram("ttas", 2, livenessIters, lk("ttas")), cfg, 2)
+	if res.Verdict != LivenessUnboundedBypass {
+		t.Fatalf("ttas verdict = %v, want unbounded-bypass (atK: %q, at2K: %q)",
+			res.Verdict, res.AtK.Violation, res.At2K.Violation)
+	}
+	t.Logf("ttas: K=%d witness %q, 2K witness %q", res.K, res.AtK.Violation, res.At2K.Violation)
+}
+
+// TestTicketLiveness: the FIFO Ticketlock admits no bypass at K=2, so the
+// verdict is fair without escalating. A fair verdict needs only the K
+// search, so iters does not need the 2K-reachability sizing — 3 keeps the
+// exhaustive exploration cheap (same sizing as TestTTASUnfair).
+func TestTicketLiveness(t *testing.T) {
+	cfg := Config{Mode: SC, MaxStates: 1_000_000}
+	res := CheckLiveness(LockProgram("tkt", 2, 3, lk("tkt")), cfg, 2)
+	if res.Verdict != LivenessFair {
+		t.Fatalf("tkt verdict = %v, want fair (atK: %q, truncated=%v)",
+			res.Verdict, res.AtK.Violation, res.AtK.Truncated)
+	}
+	if res.At2K.Executions != 0 {
+		t.Error("escalation ran despite a clean K verdict")
+	}
+}
+
+func TestLivenessVerdictStrings(t *testing.T) {
+	want := map[LivenessVerdict]string{
+		LivenessFair:            "fair",
+		LivenessBoundedBypass:   "bounded-bypass",
+		LivenessUnboundedBypass: "unbounded-bypass",
+		LivenessOtherViolation:  "other-violation",
+		LivenessInconclusive:    "inconclusive",
+	}
+	for v, s := range want {
+		if v.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(v), v.String(), s)
+		}
+	}
+}

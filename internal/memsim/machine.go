@@ -121,7 +121,8 @@ type TraceEvent struct {
 	// CPU is the issuing virtual CPU.
 	CPU int
 	// Op is the operation kind: "load", "store", "cas", "cas!", "add",
-	// "swap", "spin", "work", "park", "wake" ("cas!" = failed compare).
+	// "swap", "spin", "work", "park", "wake", "preempt" ("cas!" = failed
+	// compare).
 	Op string
 	// Cell is the accessed cell (nil for spin/work).
 	Cell *lockapi.Cell

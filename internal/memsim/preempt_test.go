@@ -1,0 +1,114 @@
+package memsim
+
+import (
+	"testing"
+
+	"github.com/clof-go/clof/internal/lockapi"
+	"github.com/clof-go/clof/internal/topo"
+)
+
+// TestPreemptDelaysObservers: a writer that preempts between two stores
+// delays the second store's observer by at least the preemption length.
+func TestPreemptDelaysObservers(t *testing.T) {
+	const hold = 50_000
+	m := New(Config{Machine: topo.X86Server()})
+	var flag lockapi.Cell
+	var sawAt int64
+	m.Spawn(0, func(p *Proc) {
+		p.Store(&flag, 1, lockapi.Release)
+		p.Preempt(hold)
+		p.Store(&flag, 2, lockapi.Release)
+	})
+	m.Spawn(16, func(p *Proc) {
+		for p.Load(&flag, lockapi.Acquire) != 2 {
+			p.Spin()
+		}
+		sawAt = p.Time()
+	})
+	res := m.Run(0)
+	if res.Deadlock {
+		t.Fatalf("unexpected deadlock: %+v", res)
+	}
+	if sawAt < hold {
+		t.Fatalf("observer saw the post-preemption store at t=%d, want >= %d", sawAt, hold)
+	}
+}
+
+// TestPreemptStats: the counter increments and the suspension is unscaled
+// even on a slowed CPU (descheduled cores do not compute).
+func TestPreemptStats(t *testing.T) {
+	speeds := make([]float64, topo.X86Server().NumCPUs())
+	for i := range speeds {
+		speeds[i] = 3.0
+	}
+	m := New(Config{Machine: topo.X86Server(), CPUSpeed: speeds})
+	var end int64
+	var proc *Proc
+	proc = m.Spawn(0, func(p *Proc) {
+		p.Preempt(10_000)
+		end = p.Time()
+	})
+	m.Run(0)
+	if proc.Preempts != 1 {
+		t.Fatalf("Preempts = %d, want 1", proc.Preempts)
+	}
+	if end != 10_000 {
+		t.Fatalf("preempt advanced time to %d on a 3x-slow CPU, want exactly 10000 (unscaled)", end)
+	}
+}
+
+// TestPreemptInvalidatesPrivateView: after a preemption the thread re-misses
+// on a line it had cached, charging a transfer instead of a hit.
+func TestPreemptInvalidatesPrivateView(t *testing.T) {
+	m := New(Config{Machine: topo.X86Server()})
+	var cell lockapi.Cell
+	var tBefore, tAfterHit, tResume, tAfterMiss int64
+	m.Spawn(0, func(p *Proc) {
+		p.Load(&cell, lockapi.Relaxed) // populate
+		tBefore = p.Time()
+		p.Load(&cell, lockapi.Relaxed) // cached: hit
+		tAfterHit = p.Time()
+		p.Preempt(1_000)
+		tResume = p.Time()
+		p.Load(&cell, lockapi.Relaxed) // view dropped: miss again
+		tAfterMiss = p.Time()
+	})
+	m.Run(0)
+	hitCost := tAfterHit - tBefore
+	missCost := tAfterMiss - tResume
+	if missCost <= hitCost {
+		t.Fatalf("post-preemption reload cost %d <= cached hit cost %d; private view not invalidated", missCost, hitCost)
+	}
+}
+
+// TestPreemptLockHolderConvoy: with a TAS-style word, preempting the holder
+// stalls the waiter for the whole preemption.
+func TestPreemptLockHolderConvoy(t *testing.T) {
+	const hold = 80_000
+	m := New(Config{Machine: topo.X86Server()})
+	var word lockapi.Cell
+	var acquiredAt int64
+	m.Spawn(0, func(p *Proc) {
+		if !p.CAS(&word, 0, 1, lockapi.Acquire) {
+			t.Error("cpu0 failed to take the free lock")
+			return
+		}
+		p.Preempt(hold) // lock-holder preemption
+		p.Store(&word, 0, lockapi.Release)
+	})
+	m.Spawn(32, func(p *Proc) {
+		p.Work(10) // let cpu0 win the first CAS
+		for !p.CAS(&word, 0, 1, lockapi.Acquire) {
+			p.Spin()
+		}
+		acquiredAt = p.Time()
+		p.Store(&word, 0, lockapi.Release)
+	})
+	res := m.Run(0)
+	if res.Deadlock {
+		t.Fatalf("unexpected deadlock: %+v", res)
+	}
+	if acquiredAt < hold {
+		t.Fatalf("waiter acquired at t=%d despite holder preempted for %d", acquiredAt, hold)
+	}
+}

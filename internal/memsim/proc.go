@@ -60,6 +60,7 @@ type Proc struct {
 	Parks    uint64
 	Spins    uint64
 	LLSCPens uint64
+	Preempts uint64
 }
 
 // CPU returns the CPU this virtual thread is pinned to.
@@ -457,6 +458,31 @@ func (p *Proc) Spin() {
 	p.Spins++
 	p.spunSincePoll = true
 	p.advance(p.m.lat.SpinGap)
+}
+
+// Preempt suspends this virtual CPU for d nanoseconds of *wall-clock*
+// descheduling, as when the OS takes the core away: virtual time advances
+// unscaled (CPUSpeed does not apply — a descheduled core computes nothing),
+// and the thread's private cache view is dropped, so it repopulates its
+// working set through misses on resume — the realistic handover penalty of
+// lock-holder preemption. Global coherence state (owners, sharers, parked
+// watchers) is deliberately untouched: other CPUs still believe this CPU may
+// hold lines, which is the conservative direction for writers' invalidation
+// costs. The fault-injection harness (internal/faultinject via
+// internal/workload) calls this mid-critical-section to model preempted
+// lock holders, and outside it to model stalled cores.
+func (p *Proc) Preempt(d int64) {
+	if d < 0 {
+		panic("memsim: negative Preempt duration")
+	}
+	p.Preempts++
+	clear(p.lines)
+	p.endStorm()
+	p.lastPollLine = nil
+	p.justWoke = false
+	p.time += d
+	p.emit("preempt", nil, 0, d)
+	p.yieldAt()
 }
 
 // Work advances this thread's local time by d nanoseconds of private

@@ -198,6 +198,17 @@ func (l *Lock) spliceSecondaryBefore(p lockapi.Proc, succ uint64) {
 	p.Store(&l.secTail, 0, lockapi.Relaxed)
 }
 
+// TryAcquire implements lockapi.TryLocker: the bounded-stealing fast path —
+// grab the TAS word only when no waiter queues (stealing from a queued
+// waiter would break the bounded-bypass policy). Never enqueues, so failure
+// leaves no residual state.
+func (l *Lock) TryAcquire(p lockapi.Proc, _ lockapi.Ctx) bool {
+	if p.Load(&l.tail, lockapi.Relaxed) != 0 {
+		return false
+	}
+	return p.CAS(&l.glock, 0, 1, lockapi.Acquire)
+}
+
 // Release implements lockapi.Lock: drop the TAS word; the queue-head waiter
 // (already selected) grabs it.
 func (l *Lock) Release(p lockapi.Proc, _ lockapi.Ctx) {
@@ -211,4 +222,5 @@ func (l *Lock) Fair() bool { return true }
 var (
 	_ lockapi.Lock         = (*Lock)(nil)
 	_ lockapi.FairnessInfo = (*Lock)(nil)
+	_ lockapi.TryLocker    = (*Lock)(nil)
 )

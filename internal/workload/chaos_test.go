@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/clof-go/clof/internal/faultinject"
+	"github.com/clof-go/clof/internal/lockapi"
+	"github.com/clof-go/clof/internal/locks"
+	"github.com/clof-go/clof/internal/topo"
+)
+
+func chaosCfg(t *testing.T, plan string, threads int) Config {
+	t.Helper()
+	cfg := LevelDB(topo.X86Server(), threads)
+	cfg.Seed = 42
+	if plan != "" {
+		cfg.Faults = faultinject.MustByName(plan)
+	}
+	return cfg
+}
+
+func mkMCS() lockapi.Lock { return locks.NewMCS() }
+
+// TestFaultedRunDeterministic: same seed, same plan ⇒ identical results,
+// including every robustness counter.
+func TestFaultedRunDeterministic(t *testing.T) {
+	a, err := Run(mkMCS, chaosCfg(t, "mixed", 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(mkMCS, chaosCfg(t, "mixed", 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different results:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestNonePlanEqualsNoPlan: the "none" plan must reproduce the unfaulted
+// run bit-for-bit — the zero Decision really injects nothing.
+func TestNonePlanEqualsNoPlan(t *testing.T) {
+	bare, err := Run(mkMCS, chaosCfg(t, "", 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	none, err := Run(mkMCS, chaosCfg(t, "none", 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bare, none) {
+		t.Fatalf("none plan diverged from unfaulted run:\n%+v\n%+v", bare, none)
+	}
+}
+
+// TestHolderPreemptionHurts: preempting lock holders must cost throughput
+// and must surface in the robustness stats, without breaking exclusion.
+func TestHolderPreemptionHurts(t *testing.T) {
+	base, err := Run(mkMCS, chaosCfg(t, "", 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hurt, err := Run(mkMCS, chaosCfg(t, "holder-preempt", 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hurt.Preemptions == 0 {
+		t.Fatal("holder-preempt plan injected no preemptions")
+	}
+	if hurt.ExclusionViolations != 0 {
+		t.Fatalf("exclusion violated under preemption: %d", hurt.ExclusionViolations)
+	}
+	if hurt.ThroughputOpsPerUs() >= base.ThroughputOpsPerUs() {
+		t.Fatalf("preemption did not reduce throughput: %.3f >= %.3f",
+			hurt.ThroughputOpsPerUs(), base.ThroughputOpsPerUs())
+	}
+	// A 60µs preemption inside the CS must show as a handover gap of at
+	// least that order (the waiters convoy behind the descheduled owner).
+	if hurt.MaxHandoverGapNS < 45_000 {
+		t.Fatalf("MaxHandoverGapNS = %d, want >= 45000 under 60µs holder preemption", hurt.MaxHandoverGapNS)
+	}
+}
+
+// TestAbandonedAcquires: trylock-capable locks abandon under the abandon
+// plan and stay mutually exclusive; per-thread progress continues.
+func TestAbandonedAcquires(t *testing.T) {
+	res, err := Run(mkMCS, chaosCfg(t, "abandon", 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Abandoned == 0 {
+		t.Fatal("abandon plan produced no abandoned acquisitions")
+	}
+	if res.ExclusionViolations != 0 {
+		t.Fatalf("exclusion violated with abandoned acquires: %d", res.ExclusionViolations)
+	}
+	if res.Total == 0 {
+		t.Fatal("no iterations completed at all")
+	}
+}
+
+// TestAbandonFallsBackWithoutTry: a lock that declines TryAcquire (CLH)
+// must run the abandon plan via plain Acquire — no abandons, no breakage.
+func TestAbandonFallsBackWithoutTry(t *testing.T) {
+	res, err := Run(func() lockapi.Lock { return locks.NewCLH() }, chaosCfg(t, "abandon", 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Abandoned != 0 {
+		t.Fatalf("CLH declines trylock but recorded %d abandons", res.Abandoned)
+	}
+	if res.Total == 0 {
+		t.Fatal("no progress under abandon plan with non-try lock")
+	}
+}
+
+// TestNoStarvationUnderMixedFaults: the paper-default configuration (fair
+// MCS, LevelDB preset) must keep every thread progressing under the mixed
+// plan — the acceptance criterion the watchdog gates on.
+func TestNoStarvationUnderMixedFaults(t *testing.T) {
+	res, err := Run(mkMCS, chaosCfg(t, "mixed", 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if starved := res.Starved(0.05); len(starved) != 0 {
+		t.Fatalf("threads starved under mixed faults: %v (per-thread %v)", starved, res.PerThread)
+	}
+}

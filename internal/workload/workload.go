@@ -14,6 +14,7 @@ package workload
 import (
 	"fmt"
 
+	"github.com/clof-go/clof/internal/faultinject"
 	"github.com/clof-go/clof/internal/lockapi"
 	"github.com/clof-go/clof/internal/memsim"
 	"github.com/clof-go/clof/internal/topo"
@@ -45,6 +46,12 @@ type Config struct {
 	JitterNS int64
 	// CPUSpeed optionally scales per-CPU compute time (big.LITTLE).
 	CPUSpeed []float64
+	// Faults, when non-nil, runs the workload under the given fault plan
+	// (internal/faultinject): lock-holder preemptions, stalls, CS jitter,
+	// and abandoned bounded acquires, all derived deterministically from
+	// Seed. nil reproduces the unfaulted run exactly (no extra randomness
+	// is drawn and no operation changes).
+	Faults *faultinject.Plan
 }
 
 // Result summarizes a run.
@@ -61,6 +68,19 @@ type Result struct {
 	// ExclusionViolations counts critical sections entered while another
 	// thread was still inside (must be 0 for a correct lock).
 	ExclusionViolations uint64
+
+	// Robustness statistics (all zero when Config.Faults is nil).
+	//
+	// Abandoned counts iterations whose bounded TryAcquire gave up;
+	// Preemptions counts injected lock-holder preemptions; Stalls counts
+	// injected out-of-lock stalls. MaxHandoverGapNS is the longest virtual
+	// time between consecutive successful acquisitions across all threads —
+	// the watchdog's max-handover-latency signal (a preempted holder shows
+	// up here as a gap of roughly the preemption length).
+	Abandoned        uint64
+	Preemptions      uint64
+	Stalls           uint64
+	MaxHandoverGapNS int64
 }
 
 // ThroughputOpsPerUs returns iterations per virtual microsecond — the
@@ -70,6 +90,25 @@ func (r Result) ThroughputOpsPerUs() float64 {
 		return 0
 	}
 	return float64(r.Total) * 1000 / float64(r.Now)
+}
+
+// Starved returns the indices of threads that completed fewer than
+// minShare of the mean per-thread iterations (e.g. minShare 0.05 flags
+// threads below 5% of the mean). A non-empty result under a fault plan with
+// a fair lock indicates starvation the lock should have prevented.
+func (r Result) Starved(minShare float64) []int {
+	n := len(r.PerThread)
+	if n == 0 || r.Total == 0 {
+		return nil
+	}
+	mean := float64(r.Total) / float64(n)
+	var out []int
+	for i, c := range r.PerThread {
+		if float64(c) < minShare*mean {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 // Jain returns Jain's fairness index of the per-thread counts.
@@ -110,8 +149,18 @@ func Run(mk LockFactory, cfg Config) (Result, error) {
 	}
 	data := make([]lockapi.Cell, nData)
 
+	// Compile the fault plan once per run; all of its randomness derives
+	// from cfg.Seed, so fault timing is as reproducible as the simulation.
+	var sched *faultinject.Schedule
+	if cfg.Faults != nil {
+		sched = faultinject.Compile(cfg.Faults, cfg.Seed, cpus)
+	}
+	tryLock, _ := l.(lockapi.TryLocker)
+	canTry := lockapi.SupportsTry(l)
+
 	res := Result{PerThread: make([]uint64, n)}
 	lastOwner := -1
+	lastAcqAt := int64(-1)
 	held := false
 	for i := 0; i < n; i++ {
 		i := i
@@ -121,11 +170,56 @@ func Run(mk LockFactory, cfg Config) (Result, error) {
 			// artificially local cycle forever.
 			p.Work(1 + p.Rand().Int63n(1000))
 			for !p.Expired() {
-				l.Acquire(p, ctxs[i])
+				// The zero Decision injects nothing, so the unfaulted run
+				// executes the exact operation sequence it always did.
+				var d faultinject.Decision
+				if sched != nil {
+					d = sched.Next(p.CPU())
+				}
+				if d.PreStall > 0 {
+					res.Stalls++
+					p.Preempt(d.PreStall)
+				}
+				if d.Abandon && canTry && tryLock != nil {
+					// Bounded acquire with Work-based backoff. The generic
+					// lockapi.AcquireBounded pauses with Spin(), which the
+					// simulator may park on a line the releaser never
+					// writes; charging the pause as local work keeps the
+					// thread live and the cost deterministic.
+					acquired := false
+					backoff := int64(memsim.DefaultLatency(cfg.Machine.Arch).Hit) * lockapi.DefaultBackoffCap
+					for a := 0; a < d.AbandonAttempts; a++ {
+						if tryLock.TryAcquire(p, ctxs[i]) {
+							acquired = true
+							break
+						}
+						if a < d.AbandonAttempts-1 {
+							p.Work(backoff)
+							backoff *= 2
+						}
+					}
+					if !acquired {
+						res.Abandoned++
+						if cfg.NCSWork > 0 {
+							p.Work(cfg.NCSWork/2 + p.Rand().Int63n(cfg.NCSWork+1))
+						}
+						continue
+					}
+				} else {
+					l.Acquire(p, ctxs[i])
+				}
 				if held {
 					res.ExclusionViolations++
 				}
 				held = true
+				if now := p.Time(); lastAcqAt >= 0 {
+					if gap := now - lastAcqAt; gap > res.MaxHandoverGapNS {
+						res.MaxHandoverGapNS = gap
+					}
+					lastAcqAt = now
+				} else {
+					lastAcqAt = now
+				}
 				if lastOwner >= 0 && lastOwner != p.CPU() {
 					res.HandoverLevels[cfg.Machine.ShareLevel(lastOwner, p.CPU())]++
 				}
@@ -135,6 +229,15 @@ func Run(mk LockFactory, cfg Config) (Result, error) {
 				}
 				if cfg.CSWork > 0 {
 					p.Work(cfg.CSWork)
+				}
+				if d.CSJitter > 0 {
+					p.Work(d.CSJitter)
+				}
+				if d.MidCS > 0 {
+					// Lock-holder preemption: the OS deschedules us while
+					// every waiter convoys behind the held lock.
+					res.Preemptions++
+					p.Preempt(d.MidCS)
 				}
 				held = false
 				l.Release(p, ctxs[i])

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# check.sh — the repository's full verification gate:
+#   1. go build ./...
+#   2. go vet ./...
+#   3. go test ./...            (tier-1, includes the model-checker suites)
+#   4. go test -race            on every package with native concurrency
+#      (mcheck is excluded from the race pass: its replay engine is
+#      single-goroutine, so -race only multiplies its minutes-long
+#      exhaustive searches without checking anything new)
+#   5. clof-chaos smoke run, twice, byte-compared — the determinism
+#      guarantee the robustness report rests on
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race (concurrency packages)"
+go test -race \
+    ./internal/faultinject/... \
+    ./internal/locktest/... \
+    ./internal/lockapi/... \
+    ./internal/locks/... \
+    ./internal/cna/... \
+    ./internal/cohort/... \
+    ./internal/hmcs/... \
+    ./internal/shfllock/... \
+    ./internal/clof/... \
+    ./internal/rwlock/... \
+    ./internal/catalog/... \
+    ./internal/kvstore/... \
+    .
+
+echo "== clof-chaos smoke (determinism)"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+smoke=(-locks "mcs,hbo,clof:tkt-tkt-tkt-tkt" -plans "none,holder-preempt,abandon" -threads 8)
+go run ./cmd/clof-chaos "${smoke[@]}" -out "$tmp/a.csv"
+go run ./cmd/clof-chaos "${smoke[@]}" -out "$tmp/b.csv"
+cmp "$tmp/a.csv" "$tmp/b.csv"
+echo "chaos smoke: byte-identical across reruns"
+
+echo "check: OK"
