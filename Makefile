@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check chaos figures
+.PHONY: build test lint check chaos figures
 
 build:
 	$(GO) build ./...
@@ -8,7 +8,12 @@ build:
 test:
 	$(GO) test ./...
 
-# Full verification gate: build + vet + tests + race pass + chaos
+# Static lock-discipline suite (atomic access, memory-order policy,
+# copylocks, spin hygiene). Exits nonzero on findings.
+lint:
+	$(GO) run ./cmd/clof-lint ./...
+
+# Full verification gate: build + vet + lint + tests + race pass + chaos
 # determinism smoke (see scripts/check.sh).
 check:
 	scripts/check.sh

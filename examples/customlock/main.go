@@ -52,6 +52,7 @@ func (l *ArrayLock) Acquire(p clof.Proc, c clof.Ctx) {
 // Release implements clof.Lock: reset our slot, grant the next.
 func (l *ArrayLock) Release(p clof.Proc, c clof.Ctx) {
 	ctx := c.(*arrayCtx)
+	//lint:order relaxed-ok own-slot reset; the Release grant store below orders it before the handover
 	p.Store(&l.slots[ctx.slot], 0, clof.Relaxed)
 	p.Store(&l.slots[(ctx.slot+1)&l.mask], 1, clof.Release)
 }

@@ -1,0 +1,180 @@
+// Package analysis is the core of clof-lint, the repository's static
+// lock-discipline checker suite. It plays the role GenMC/VSync's static
+// barrier checking plays in the paper's toolchain (§3.3/§4.2): where
+// internal/mcheck verifies ordering discipline *dynamically* on small
+// configurations, the analyzers here check it *statically* across all code,
+// so a plain read of an atomically-written field, a Relaxed store on an
+// unlock path, a lock struct copied by value, or a scheduler-hostile busy
+// loop is rejected at lint time rather than surfacing (maybe) in a 2–4
+// thread model check.
+//
+// The framework is deliberately shaped like golang.org/x/tools/go/analysis
+// — an Analyzer with a Run(*Pass) hook reporting position-tagged
+// diagnostics — but is built on the standard library alone (see
+// internal/analysis/loader for why).
+//
+// # Waivers
+//
+// Every analyzer supports per-site waivers, because lock code has
+// *intentional* relaxations (the Relaxed spin polls whose ordering is
+// provided by a later CAS, the deliberately broken fixture locks that
+// mcheck's negative tests depend on). A waiver is a comment on the flagged
+// line or the line directly above it:
+//
+//	//lint:<tag> <verb> <reason>
+//
+// e.g. //lint:order relaxed-ok poll only; the CAS below orders entry
+//
+// The reason is mandatory: a waiver without one is itself reported. Tags
+// are per-analyzer (order, atomic, copylocks, spin).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"github.com/clof-go/clof/internal/analysis/loader"
+)
+
+// Analyzer is one static check.
+type Analyzer struct {
+	// Name labels diagnostics, e.g. "orderpolicy".
+	Name string
+	// Tag is the waiver tag accepted in //lint:<tag> comments.
+	Tag string
+	// Doc is a one-paragraph description.
+	Doc string
+	// Run inspects one package and reports findings on the pass.
+	Run func(*Pass)
+}
+
+// Pass is one (analyzer, package) execution.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *loader.Package
+	diags    []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// waiver is one parsed //lint: comment.
+type waiver struct {
+	tag    string
+	verb   string
+	reason string
+}
+
+// waiversByLine parses all //lint: comments in f, keyed by line number.
+// Malformed waivers (no verb, or no reason) are reported via report.
+func waiversByLine(fset *token.FileSet, f *ast.File, report func(pos token.Pos, msg string)) map[int][]waiver {
+	out := map[int][]waiver{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			body, ok := strings.CutPrefix(c.Text, "//lint:")
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(body)
+			if len(fields) < 3 {
+				report(c.Pos(), fmt.Sprintf("malformed waiver %q: want //lint:<tag> <verb> <reason>", c.Text))
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			out[line] = append(out[line], waiver{
+				tag:    fields[0],
+				verb:   fields[1],
+				reason: strings.Join(fields[2:], " "),
+			})
+		}
+	}
+	return out
+}
+
+// Run executes analyzers over pkgs, filters findings through waivers, and
+// returns the active diagnostics sorted by position. Malformed waiver
+// comments are reported under the pseudo-analyzer "waiver".
+func Run(pkgs []*loader.Package, analyzers []*Analyzer) []Diagnostic {
+	return run(pkgs, analyzers, true)
+}
+
+// Audit is Run with waiver filtering disabled: waived findings are
+// reported too. Used to enumerate every waived site (and by the
+// lint-vs-mcheck cross-check, which asserts the deliberately broken
+// fixture locks would be flagged were they not waived).
+func Audit(pkgs []*loader.Package, analyzers []*Analyzer) []Diagnostic {
+	return run(pkgs, analyzers, false)
+}
+
+func run(pkgs []*loader.Package, analyzers []*Analyzer, applyWaivers bool) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		// Waiver tables for this package, one per file.
+		fset := pkg.Fset
+		waivers := map[string]map[int][]waiver{}
+		for _, f := range pkg.Syntax {
+			name := fset.Position(f.Pos()).Filename
+			waivers[name] = waiversByLine(fset, f, func(pos token.Pos, msg string) {
+				out = append(out, Diagnostic{Pos: fset.Position(pos), Analyzer: "waiver", Message: msg})
+			})
+		}
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Fset: fset, Pkg: pkg}
+			a.Run(pass)
+			for _, d := range pass.diags {
+				if applyWaivers && waived(waivers[d.Pos.Filename], a.Tag, d.Pos.Line) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// waived reports whether a waiver for tag covers line (same line or the
+// line directly above).
+func waived(byLine map[int][]waiver, tag string, line int) bool {
+	for _, l := range []int{line, line - 1} {
+		for _, w := range byLine[l] {
+			if w.tag == tag {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,151 @@
+// Package atest is the golden-diagnostic test harness for the clof-lint
+// analyzers, in the style of golang.org/x/tools/go/analysis/analysistest
+// but standard-library-only.
+//
+// Fixture packages live under <analyzer>/testdata/src/<name>/ as ordinary
+// non-test Go files (the go tool ignores testdata, so deliberately
+// defective fixtures never break `go build ./...`). Expected findings are
+// `// want "substring"` comments on the offending line; multiple quoted
+// substrings may follow one want. The harness asserts an exact match both
+// ways: every want must be hit by a diagnostic on its line, and every
+// diagnostic must be covered by a want. Fixtures import the real
+// repository packages (lockapi et al.) — the harness registers the
+// repository as a second module with the loader.
+package atest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/clof-go/clof/internal/analysis"
+	"github.com/clof-go/clof/internal/analysis/loader"
+)
+
+// FixtureModule is the module path fixture packages are loaded under:
+// testdata/src/<name> becomes import path "fix/<name>".
+const FixtureModule = "fix"
+
+// RepoRoot locates the repository root by walking up from dir (or the
+// working directory if dir is "") until a go.mod is found.
+func RepoRoot(t *testing.T, dir string) string {
+	t.Helper()
+	if dir == "" {
+		wd, err := os.Getwd()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir = wd
+	}
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			t.Fatalf("no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// Load loads fixture packages (by name under testdata/src) with the
+// repository registered as a secondary module.
+func Load(t *testing.T, fixtures ...string) []*loader.Package {
+	t.Helper()
+	root := RepoRoot(t, "")
+	modPath, err := loader.MainModulePath(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := loader.New(
+		loader.Module{Path: FixtureModule, Dir: filepath.Join("testdata", "src")},
+		loader.Module{Path: modPath, Dir: root},
+	)
+	var pats []string
+	for _, fix := range fixtures {
+		pats = append(pats, FixtureModule+"/"+fix)
+	}
+	pkgs, err := ld.Load(pats...)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", fixtures, err)
+	}
+	return pkgs
+}
+
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// Run loads the fixture packages, runs the analyzer, and asserts the
+// diagnostics match the fixtures' want comments exactly.
+func Run(t *testing.T, a *analysis.Analyzer, fixtures ...string) {
+	t.Helper()
+	pkgs := Load(t, fixtures...)
+	diags := analysis.Run(pkgs, []*analysis.Analyzer{a})
+
+	type wantKey struct {
+		file string
+		line int
+		idx  int
+	}
+	wants := map[wantKey]string{}
+	used := map[wantKey]bool{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "// want ")
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for i, m := range wantRE.FindAllStringSubmatch(rest, -1) {
+						wants[wantKey{pos.Filename, pos.Line, i}] = m[1]
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		matched := false
+		for k, substr := range wants {
+			if used[k] || k.file != d.Pos.Filename || k.line != d.Pos.Line {
+				continue
+			}
+			if strings.Contains(d.Message, substr) {
+				used[k] = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for k, substr := range wants {
+		if !used[k] {
+			t.Errorf("%s:%d: expected diagnostic containing %q, got none", k.file, k.line, substr)
+		}
+	}
+}
+
+// RunExpectClean asserts the analyzer reports nothing on the fixtures.
+func RunExpectClean(t *testing.T, a *analysis.Analyzer, fixtures ...string) {
+	t.Helper()
+	pkgs := Load(t, fixtures...)
+	for _, d := range analysis.Run(pkgs, []*analysis.Analyzer{a}) {
+		t.Errorf("unexpected diagnostic on clean fixture: %s", d)
+	}
+}
+
+// Format renders diagnostics one per line (shared by the driver test).
+func Format(diags []analysis.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintln(&b, d)
+	}
+	return b.String()
+}

@@ -1,0 +1,35 @@
+// Package atclean is the atomicdiscipline clean corpus: disciplined
+// sync/atomic use, setup-time plain writes, and one waived diagnostic.
+package atclean
+
+import "sync/atomic"
+
+type counter struct {
+	n     uint64
+	typed atomic.Uint64
+}
+
+func (c *counter) inc() {
+	atomic.AddUint64(&c.n, 1)
+}
+
+func (c *counter) read() uint64 {
+	return atomic.LoadUint64(&c.n)
+}
+
+// typed fields are safe by construction: the word is behind methods.
+func (c *counter) incTyped() { c.typed.Add(1) }
+
+// NewCounter initializes plainly before publication.
+func NewCounter(start uint64) *counter {
+	c := &counter{}
+	c.n = start
+	return c
+}
+
+// drain documents a deliberate plain read: the caller guarantees all
+// writers have quiesced.
+func (c *counter) drain() uint64 {
+	//lint:atomic plain-ok all writers joined before drain is called
+	return c.n
+}

@@ -1,0 +1,25 @@
+// Package cellinit is the lockapi half of the atomicdiscipline corpus: a
+// Cell that lock code accesses through a Proc must not be re-initialized
+// with the non-atomic Cell.Init outside single-threaded setup.
+package cellinit
+
+import "github.com/clof-go/clof/internal/lockapi"
+
+type gate struct {
+	word lockapi.Cell
+}
+
+// NewGate may Init: constructors run before publication.
+func NewGate() *gate {
+	g := &gate{}
+	g.word.Init(1)
+	return g
+}
+
+func (g *gate) open(p lockapi.Proc) {
+	p.Store(&g.word, 0, lockapi.Release)
+}
+
+func (g *gate) slam(p lockapi.Proc) {
+	g.word.Init(1) // want "outside single-threaded setup"
+}

@@ -1,0 +1,37 @@
+// Package mixed is the atomicdiscipline bad corpus: fields written with
+// sync/atomic in one place and read plainly in another — the silent data
+// race the analyzer exists for.
+package mixed
+
+import "sync/atomic"
+
+type stats struct {
+	hits   uint64
+	misses uint64
+	label  string
+}
+
+func (s *stats) bump() {
+	atomic.AddUint64(&s.hits, 1)
+}
+
+func (s *stats) snapshot() uint64 {
+	return s.hits // want "mixed plain/atomic access"
+}
+
+func (s *stats) clear() {
+	s.hits = 0 // want "mixed plain/atomic access"
+}
+
+// misses is only ever accessed plainly: no finding.
+func (s *stats) miss() { s.misses++ }
+
+// label is not atomic at all: no finding.
+func (s *stats) name() string { return s.label }
+
+// NewStats initializes plainly before publication: setup is exempt.
+func NewStats() *stats {
+	s := &stats{}
+	s.hits = 0
+	return s
+}

@@ -1,0 +1,52 @@
+// Package copyval is the copylocks bad corpus: every by-value copy shape
+// of a Cell-containing lock type.
+package copyval
+
+import "github.com/clof-go/clof/internal/lockapi"
+
+type spinLock struct {
+	word lockapi.Cell
+}
+
+// wrapper embeds a lock by value: copying the wrapper copies the lock.
+type wrapper struct {
+	inner spinLock
+	name  string
+}
+
+var global spinLock
+
+func byValueParam(l spinLock) {} // want "parameter passes lock type"
+
+func byValueResult() spinLock { // want "result passes lock type"
+	return global
+}
+
+func assignCopy() {
+	l := global        // want "assignment copies lock value"
+	byValueParam(l)    // want "call copies lock value"
+	var discard spinLock
+	_ = discard // discarding to blank: no live copy, no finding
+}
+
+func derefCopy(p *spinLock) {
+	l := *p // want "assignment copies lock value"
+	byPointer(&l)
+}
+
+func byPointer(l *spinLock) {}
+
+func wrapperCopy(w *wrapper) {
+	v := *w // want "assignment copies lock value"
+	_ = v.name
+}
+
+func rangeCopy(ls []spinLock) {
+	for _, l := range ls { // want "range copies lock values"
+		byPointer(&l)
+	}
+}
+
+func callCopy() {
+	byValueParam(global) // want "call copies lock value"
+}

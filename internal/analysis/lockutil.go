@@ -1,0 +1,177 @@
+// lockutil.go — shared type-level helpers for the analyzers: recognizing
+// the lockapi package, classifying ordered Proc operations, and detecting
+// lock-bearing (Cell-containing) types.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// IsLockapiPackage reports whether p is this repository's lockapi package
+// (matched by suffix so fixtures loaded under other module roots work too).
+func IsLockapiPackage(p *types.Package) bool {
+	return p != nil && (p.Path() == "lockapi" || strings.HasSuffix(p.Path(), "/lockapi"))
+}
+
+// ProcOp is one classified ordered memory operation: a call to a method
+// named Load/Store/CAS/Add/Swap/Fence whose final parameter is
+// lockapi.Order. The receiver may be the lockapi.Proc interface or any
+// concrete backend (memsim.Proc, mcheck.Proc) — classification keys on the
+// Order parameter, not the receiver.
+type ProcOp struct {
+	Call *ast.CallExpr
+	// Name is the method name: Load, Store, CAS, Add, Swap, or Fence.
+	Name string
+	// Order is the order constant's name (Relaxed, Acquire, Release,
+	// AcqRel, SeqCst), or "" when the order argument is not a constant.
+	Order string
+}
+
+// IsLoad reports a pure read (no write side).
+func (op ProcOp) IsLoad() bool { return op.Name == "Load" }
+
+// IsWrite reports any operation with a store side (Store or an RMW).
+func (op ProcOp) IsWrite() bool {
+	switch op.Name {
+	case "Store", "CAS", "Add", "Swap":
+		return true
+	}
+	return false
+}
+
+// AcquireOrStronger reports whether the order includes acquire semantics.
+func (op ProcOp) AcquireOrStronger() bool {
+	switch op.Order {
+	case "Acquire", "AcqRel", "SeqCst":
+		return true
+	}
+	return false
+}
+
+// ReleaseOrStronger reports whether the order includes release semantics.
+func (op ProcOp) ReleaseOrStronger() bool {
+	switch op.Order {
+	case "Release", "AcqRel", "SeqCst":
+		return true
+	}
+	return false
+}
+
+var procOpNames = map[string]bool{
+	"Load": true, "Store": true, "CAS": true, "Add": true, "Swap": true, "Fence": true,
+}
+
+// ClassifyProcOp reports whether call is an ordered Proc operation.
+func ClassifyProcOp(info *types.Info, call *ast.CallExpr) (ProcOp, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ProcOp{}, false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || !procOpNames[fn.Name()] {
+		return ProcOp{}, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return ProcOp{}, false
+	}
+	last := sig.Params().At(sig.Params().Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	if !ok || named.Obj().Name() != "Order" || !IsLockapiPackage(named.Obj().Pkg()) {
+		return ProcOp{}, false
+	}
+	op := ProcOp{Call: call, Name: fn.Name()}
+	if len(call.Args) > 0 {
+		if tv, ok := info.Types[call.Args[len(call.Args)-1]]; ok && tv.Value != nil {
+			if v, exact := constant.Int64Val(tv.Value); exact {
+				op.Order = orderName(named.Obj().Pkg(), named, v)
+			}
+		}
+	}
+	return op, true
+}
+
+// orderName finds the Order constant in pkg with value v.
+func orderName(pkg *types.Package, orderType *types.Named, v int64) string {
+	if pkg == nil {
+		return ""
+	}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), orderType) {
+			continue
+		}
+		if cv, exact := constant.Int64Val(c.Val()); exact && cv == v {
+			return name
+		}
+	}
+	return ""
+}
+
+// IsCellType reports whether t is lockapi.Cell.
+func IsCellType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Name() == "Cell" && IsLockapiPackage(named.Obj().Pkg())
+}
+
+// HasCell reports whether t transitively contains a lockapi.Cell by value
+// (through struct fields, embedded fields, and arrays — not through
+// pointers, slices, or maps). A value of such a type must not be copied
+// after first use: backends key per-cell metadata off the Cell's address.
+func HasCell(t types.Type) bool {
+	return hasCell(t, map[*types.Named]bool{})
+}
+
+func hasCell(t types.Type, seen map[*types.Named]bool) bool {
+	switch t := t.(type) {
+	case *types.Named:
+		if seen[t] {
+			return false
+		}
+		seen[t] = true
+		if IsCellType(t) {
+			return true
+		}
+		return hasCell(t.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if hasCell(t.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return hasCell(t.Elem(), seen)
+	}
+	return false
+}
+
+// IsSpinRelief reports whether call yields or backs off inside a spin loop:
+// Proc.Spin, ExpBackoff.Pause (any method named Spin or Pause), or
+// runtime.Gosched / time.Sleep.
+func IsSpinRelief(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	switch fn.Name() {
+	case "Spin", "Pause":
+		return true
+	case "Gosched":
+		return fn.Pkg() != nil && fn.Pkg().Path() == "runtime"
+	case "Sleep":
+		return fn.Pkg() != nil && fn.Pkg().Path() == "time"
+	}
+	return false
+}

@@ -1,0 +1,40 @@
+// Package goodlock is a correctly annotated ticket lock (the counterpart
+// of the badrelease corpus): Acquire orders entry with an Acquire load,
+// Release publishes with a Release increment. Must lint clean with no
+// waivers.
+package goodlock
+
+import "github.com/clof-go/clof/internal/lockapi"
+
+type ticket struct {
+	ticket, grant lockapi.Cell
+}
+
+func (l *ticket) NewCtx() lockapi.Ctx { return nil }
+
+func (l *ticket) Acquire(p lockapi.Proc, _ lockapi.Ctx) {
+	t := p.Add(&l.ticket, 1, lockapi.Relaxed) - 1
+	for p.Load(&l.grant, lockapi.Acquire) != t {
+		p.Spin()
+	}
+}
+
+func (l *ticket) Release(p lockapi.Proc, _ lockapi.Ctx) {
+	p.Add(&l.grant, 1, lockapi.Release)
+}
+
+// helper reachability: Release paths through helpers are still checked.
+type wrapped struct {
+	inner ticket
+}
+
+func (w *wrapped) NewCtx() lockapi.Ctx { return nil }
+
+func (w *wrapped) Acquire(p lockapi.Proc, c lockapi.Ctx) { w.inner.Acquire(p, c) }
+
+func (w *wrapped) Release(p lockapi.Proc, c lockapi.Ctx) { w.inner.Release(p, c) }
+
+var (
+	_ lockapi.Lock = (*ticket)(nil)
+	_ lockapi.Lock = (*wrapped)(nil)
+)

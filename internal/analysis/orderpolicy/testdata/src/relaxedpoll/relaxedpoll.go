@@ -1,0 +1,29 @@
+// Package relaxedpoll is a TTAS whose Relaxed spin poll carries no waiver:
+// the poll is actually safe (the CAS below orders entry), but the policy
+// demands the justification be written down at the site.
+package relaxedpoll
+
+import "github.com/clof-go/clof/internal/lockapi"
+
+type ttas struct {
+	word lockapi.Cell
+}
+
+func (l *ttas) NewCtx() lockapi.Ctx { return nil }
+
+func (l *ttas) Acquire(p lockapi.Proc, _ lockapi.Ctx) {
+	for {
+		for p.Load(&l.word, lockapi.Relaxed) == 1 { // want "Relaxed load guards lock entry"
+			p.Spin()
+		}
+		if p.CAS(&l.word, 0, 1, lockapi.Acquire) {
+			return
+		}
+	}
+}
+
+func (l *ttas) Release(p lockapi.Proc, _ lockapi.Ctx) {
+	p.Store(&l.word, 0, lockapi.Release)
+}
+
+var _ lockapi.Lock = (*ttas)(nil)

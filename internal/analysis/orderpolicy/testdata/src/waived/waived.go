@@ -1,0 +1,29 @@
+// Package waived is the same TTAS as the relaxedpoll fixture with the
+// required waiver written down: it must lint clean.
+package waived
+
+import "github.com/clof-go/clof/internal/lockapi"
+
+type ttas struct {
+	word lockapi.Cell
+}
+
+func (l *ttas) NewCtx() lockapi.Ctx { return nil }
+
+func (l *ttas) Acquire(p lockapi.Proc, _ lockapi.Ctx) {
+	for {
+		//lint:order relaxed-ok poll only; the CAS below orders entry
+		for p.Load(&l.word, lockapi.Relaxed) == 1 {
+			p.Spin()
+		}
+		if p.CAS(&l.word, 0, 1, lockapi.Acquire) {
+			return
+		}
+	}
+}
+
+func (l *ttas) Release(p lockapi.Proc, _ lockapi.Ctx) {
+	p.Store(&l.word, 0, lockapi.Release)
+}
+
+var _ lockapi.Lock = (*ttas)(nil)

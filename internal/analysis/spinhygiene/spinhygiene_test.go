@@ -1,0 +1,15 @@
+package spinhygiene
+
+import (
+	"testing"
+
+	"github.com/clof-go/clof/internal/analysis/atest"
+)
+
+func TestFlagged(t *testing.T) {
+	atest.Run(t, Analyzer, "spinbad")
+}
+
+func TestClean(t *testing.T) {
+	atest.RunExpectClean(t, Analyzer, "spinok")
+}

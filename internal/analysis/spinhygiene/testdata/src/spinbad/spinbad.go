@@ -1,0 +1,33 @@
+// Package spinbad is the spinhygiene bad corpus: scheduler-hostile busy
+// loops and an optimistic CAS-retry loop that wrongly backs off.
+package spinbad
+
+import (
+	"sync/atomic"
+
+	"github.com/clof-go/clof/internal/lockapi"
+)
+
+// busyWait never yields: natively it pins its P and can deadlock workloads
+// where waiters outnumber GOMAXPROCS.
+func busyWait(p lockapi.Proc, c *lockapi.Cell) {
+	for p.Load(c, lockapi.Acquire) == 1 { // want "busy-wait loop polls an atomic"
+	}
+}
+
+// busyWaitAtomic is the same hazard via sync/atomic directly.
+func busyWaitAtomic(v *atomic.Uint64) {
+	for v.Load() == 0 { // want "busy-wait loop polls an atomic"
+	}
+}
+
+// optimisticRetrySpins: the CAS expected value is freshly loaded, so a
+// failure proves the cell just changed — Spin here makes await-collapsing
+// backends block on a change that may never come.
+func optimisticRetrySpins(p lockapi.Proc, c *lockapi.Cell) {
+	v := p.Load(c, lockapi.Relaxed)
+	for !p.CAS(c, v, v+1, lockapi.AcqRel) { // want "CAS-retry loop calls Spin"
+		p.Spin()
+		v = p.Load(c, lockapi.Relaxed)
+	}
+}

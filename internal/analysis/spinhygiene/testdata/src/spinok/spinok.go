@@ -1,0 +1,63 @@
+// Package spinok is the spinhygiene clean corpus: every waiting shape this
+// repository uses, correctly disciplined.
+package spinok
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"github.com/clof-go/clof/internal/lockapi"
+)
+
+// pollWithSpin is the canonical local-spin wait.
+func pollWithSpin(p lockapi.Proc, c *lockapi.Cell) {
+	for p.Load(c, lockapi.Acquire) == 1 {
+		p.Spin()
+	}
+}
+
+// pollWithBackoff waits through the shared backoff helper.
+func pollWithBackoff(p lockapi.Proc, c *lockapi.Cell) {
+	bo := lockapi.ExpBackoff{}
+	for p.Load(c, lockapi.Relaxed) == 1 {
+		bo.Pause(p)
+	}
+}
+
+// tasWait: a failed Swap means "still held" — waiting, so Spin is correct.
+func tasWait(p lockapi.Proc, c *lockapi.Cell) {
+	for p.Swap(c, 1, lockapi.Acquire) == 1 {
+		p.Spin()
+	}
+}
+
+// casWait: CAS against the constant 0 is a lock-style wait, not an
+// optimistic retry; it must (and does) back off.
+func casWait(p lockapi.Proc, c *lockapi.Cell) {
+	for !p.CAS(c, 0, 1, lockapi.Acquire) {
+		p.Spin()
+	}
+}
+
+// optimisticRetry: no Spin in a fresh-value CAS loop — correct.
+func optimisticRetry(p lockapi.Proc, c *lockapi.Cell) {
+	v := p.Load(c, lockapi.Relaxed)
+	for !p.CAS(c, v, v+1, lockapi.AcqRel) {
+		v = p.Load(c, lockapi.Relaxed)
+	}
+}
+
+// goschedPoll yields to the Go scheduler directly.
+func goschedPoll(v *atomic.Uint64) {
+	for v.Load() == 0 {
+		runtime.Gosched()
+	}
+}
+
+// waivedHotPoll documents a deliberate hot loop (e.g. a two-iteration
+// bounded wait) with the required waiver.
+func waivedHotPoll(p lockapi.Proc, c *lockapi.Cell) {
+	//lint:spin busy-ok bounded two-iteration wait measured in bench
+	for p.Load(c, lockapi.Acquire) == 1 {
+	}
+}

@@ -289,7 +289,7 @@ func (l *Lock) Acquire(p lockapi.Proc, c lockapi.Ctx) {
 	if l.fastPath {
 		// Steal only when the lock looks free AND nobody is in the slow
 		// path (ShflLock-style bounded stealing).
-		if p.Load(&l.fast, lockapi.Relaxed) == 0 &&
+		if p.Load(&l.fast, lockapi.Relaxed) == 0 && //lint:order relaxed-ok fast-path peek; the CAS provides Acquire on success
 			p.Load(&l.slowActive, lockapi.Relaxed) == 0 &&
 			p.CAS(&l.fast, 0, 1, lockapi.Acquire) {
 			tc.fastOnly = true
@@ -330,6 +330,7 @@ func (l *Lock) acquireNode(p lockapi.Proc, n *levelLock, c lockapi.Ctx) {
 	// already ours; otherwise climb. All these auxiliary accesses are
 	// relaxed: the paper's VSync analysis (§4.2.3) shows the basic locks'
 	// own barriers provide all required ordering.
+	//lint:order relaxed-ok highHeld is passed under the held low lock, whose barriers order it (§4.2.3)
 	if p.Load(&n.highHeld, lockapi.Relaxed) == 0 {
 		l.acquireNode(p, n.parent, n.highCtx)
 	}
@@ -352,7 +353,7 @@ func (l *Lock) TrySupported() bool { return l.fastPath || l.canTry }
 func (l *Lock) TryAcquire(p lockapi.Proc, c lockapi.Ctx) bool {
 	tc := c.(*threadCtx)
 	if l.fastPath {
-		if p.Load(&l.fast, lockapi.Relaxed) == 0 &&
+		if p.Load(&l.fast, lockapi.Relaxed) == 0 && //lint:order relaxed-ok fast-path peek; the CAS provides Acquire on success
 			p.Load(&l.slowActive, lockapi.Relaxed) == 0 &&
 			p.CAS(&l.fast, 0, 1, lockapi.Acquire) {
 			tc.fastOnly = true
@@ -381,6 +382,7 @@ func (l *Lock) tryAcquireNode(p lockapi.Proc, n *levelLock, c lockapi.Ctx) bool 
 	if !n.lock.(lockapi.TryLocker).TryAcquire(p, c) {
 		return false
 	}
+	//lint:order relaxed-ok highHeld is passed under the held low lock, whose barriers order it (§4.2.3)
 	if p.Load(&n.highHeld, lockapi.Relaxed) != 0 {
 		return true // the high lock was passed within this cohort
 	}
@@ -425,6 +427,7 @@ func (l *Lock) releaseNode(p lockapi.Proc, n *levelLock, c lockapi.Ctx) {
 		// consecutive local passes is reached.
 		v := p.Load(&n.highHeld, lockapi.Relaxed)
 		if v+1 < l.threshold {
+			//lint:order relaxed-ok pass_high_lock happens before the low lock's Release, which publishes it (§4.2.3)
 			p.Store(&n.highHeld, v+1, lockapi.Relaxed) // pass_high_lock
 			n.lock.Release(p, c)
 			return
@@ -435,6 +438,7 @@ func (l *Lock) releaseNode(p lockapi.Proc, n *levelLock, c lockapi.Ctx) {
 	// grab the low lock and race us on highCtx, violating the context
 	// invariant and deadlocking.
 	if p.Load(&n.highHeld, lockapi.Relaxed) != 0 {
+		//lint:order relaxed-ok clear_high_lock happens before the high lock's Release, which publishes it (§4.2.3)
 		p.Store(&n.highHeld, 0, lockapi.Relaxed) // clear_high_lock
 	}
 	if l.releaseOrderBug {

@@ -109,6 +109,7 @@ func (l *Lock) TryAcquire(p lockapi.Proc, c lockapi.Ctx) bool {
 func (l *Lock) Release(p lockapi.Proc, c lockapi.Ctx) {
 	me := c.(*ctxT).id
 	n := l.node(me)
+	//lint:order relaxed-ok handover counter is read and written only by the current holder
 	flush := p.Add(&l.handovers, 1, lockapi.Relaxed)%FlushPeriod == 0
 
 	succ := p.Load(&n.next, lockapi.Acquire)
@@ -124,7 +125,7 @@ func (l *Lock) Release(p lockapi.Proc, c lockapi.Ctx) {
 			// queue: promote it to be the main queue.
 			secTail := p.Load(&l.secTail, lockapi.Relaxed)
 			if p.CAS(&l.tail, me, secTail, lockapi.Release) {
-				p.Store(&l.secHead, 0, lockapi.Relaxed)
+				p.Store(&l.secHead, 0, lockapi.Relaxed) //lint:order relaxed-ok secondary-queue fields are holder-private; the pass() grant store publishes them
 				p.Store(&l.secTail, 0, lockapi.Relaxed)
 				l.pass(p, secHead)
 				return
@@ -198,14 +199,20 @@ func (l *Lock) findLocal(p lockapi.Proc, from, numa uint64) (local, prefixHead, 
 }
 
 // appendSecondary moves the prefix [head..tail] onto the secondary queue.
+// The queue is touched only by the current lock holder, so all the surgery
+// below is Relaxed; the eventual grant store (pass) publishes it.
 func (l *Lock) appendSecondary(p lockapi.Proc, head, tail uint64) {
+	//lint:order relaxed-ok secondary queue is holder-private; the grant store publishes it
 	p.Store(&l.node(tail).next, 0, lockapi.Relaxed)
 	if p.Load(&l.secHead, lockapi.Relaxed) == 0 {
+		//lint:order relaxed-ok secondary queue is holder-private; the grant store publishes it
 		p.Store(&l.secHead, head, lockapi.Relaxed)
 	} else {
 		oldTail := p.Load(&l.secTail, lockapi.Relaxed)
+		//lint:order relaxed-ok secondary queue is holder-private; the grant store publishes it
 		p.Store(&l.node(oldTail).next, head, lockapi.Relaxed)
 	}
+	//lint:order relaxed-ok secondary queue is holder-private; the grant store publishes it
 	p.Store(&l.secTail, tail, lockapi.Relaxed)
 }
 
@@ -214,7 +221,7 @@ func (l *Lock) appendSecondary(p lockapi.Proc, head, tail uint64) {
 func (l *Lock) spliceSecondaryBefore(p lockapi.Proc, succ uint64) {
 	secTail := p.Load(&l.secTail, lockapi.Relaxed)
 	p.Store(&l.node(secTail).next, succ, lockapi.Release)
-	p.Store(&l.secHead, 0, lockapi.Relaxed)
+	p.Store(&l.secHead, 0, lockapi.Relaxed) //lint:order relaxed-ok secondary-queue fields are holder-private; the grant store publishes them
 	p.Store(&l.secTail, 0, lockapi.Relaxed)
 }
 

@@ -75,11 +75,15 @@ func (l *Hemlock) loadGrant(p lockapi.Proc, c *lockapi.Cell, o lockapi.Order) ui
 	return p.Load(c, o)
 }
 
-// storeGrant writes a grant field; with CTR it is a CAS loop.
+// storeGrant writes a grant field; with CTR it is a CAS loop. The loop must
+// not call Spin: both callers CAS against a value the grant protocol
+// guarantees is current (the handover field is quiescent between the two
+// parties), so a failed CAS is already a protocol violation and no other
+// thread will ever change the cell — Spin would make await-collapsing
+// backends block forever (see lockapi.Proc.Spin).
 func (l *Hemlock) storeGrant(p lockapi.Proc, c *lockapi.Cell, old, v uint64, o lockapi.Order) {
 	if l.ctr {
 		for !p.CAS(c, old, v, o) {
-			p.Spin()
 		}
 		return
 	}

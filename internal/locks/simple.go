@@ -53,6 +53,7 @@ func (l *TTAS) NewCtx() lockapi.Ctx { return nil }
 // Acquire implements lockapi.Lock.
 func (l *TTAS) Acquire(p lockapi.Proc, _ lockapi.Ctx) {
 	for {
+		//lint:order relaxed-ok TTAS peek only; the CAS below provides Acquire on the winning entry
 		for p.Load(&l.word, lockapi.Relaxed) == 1 {
 			p.Spin()
 		}
@@ -94,6 +95,7 @@ func (l *Backoff) NewCtx() lockapi.Ctx { return nil }
 func (l *Backoff) Acquire(p lockapi.Proc, _ lockapi.Ctx) {
 	bo := lockapi.ExpBackoff{Base: 1, Cap: l.maxDelay}
 	for {
+		//lint:order relaxed-ok backoff peek only; the CAS below provides Acquire on the winning entry
 		for p.Load(&l.word, lockapi.Relaxed) == 1 {
 			bo.Pause(p)
 		}

@@ -203,8 +203,10 @@ func (l *relaxedReleaseTicket) Acquire(p lockapi.Proc, _ lockapi.Ctx) {
 	}
 }
 
+//lint:order relaxed-ok deliberate missing-Release fixture; the WMM negative test depends on this bug (run clof-lint -nowaiver to see it flagged)
 func (l *relaxedReleaseTicket) Release(p lockapi.Proc, _ lockapi.Ctx) {
 	g := p.Load(&l.grant, lockapi.Relaxed)
+	//lint:order relaxed-ok deliberate missing-Release fixture for the WMM negative test
 	p.Store(&l.grant, g+1, lockapi.Relaxed) // BUG: must be Release
 }
 

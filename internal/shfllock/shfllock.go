@@ -75,7 +75,7 @@ func (l *Lock) node(h uint64) *node { return l.nodes[h] }
 // Acquire implements lockapi.Lock.
 func (l *Lock) Acquire(p lockapi.Proc, c lockapi.Ctx) {
 	// Fast path: steal the TAS word when nobody queues.
-	if p.Load(&l.tail, lockapi.Relaxed) == 0 &&
+	if p.Load(&l.tail, lockapi.Relaxed) == 0 && //lint:order relaxed-ok fast-path peek; the CAS provides Acquire on success
 		p.Load(&l.glock, lockapi.Relaxed) == 0 &&
 		p.CAS(&l.glock, 0, 1, lockapi.Acquire) {
 		return
@@ -97,7 +97,7 @@ func (l *Lock) Acquire(p lockapi.Proc, c lockapi.Ctx) {
 	// We are the queue head: wait for the TAS word, then pass the head
 	// role to the next waiter (shuffled NUMA-locally) before entering.
 	for {
-		if p.Load(&l.glock, lockapi.Relaxed) == 0 &&
+		if p.Load(&l.glock, lockapi.Relaxed) == 0 && //lint:order relaxed-ok TTAS peek; the CAS provides Acquire on the winning entry
 			p.CAS(&l.glock, 0, 1, lockapi.Acquire) {
 			break
 		}
@@ -168,6 +168,7 @@ func (l *Lock) findLocal(p lockapi.Proc, from, numa uint64) (local, prefixHead, 
 	cur := from
 	var prev uint64
 	for cur != 0 {
+		//lint:order relaxed-ok numa hint was published by the Release link store and read after the Acquire next load
 		if p.Load(&l.node(cur).numa, lockapi.Relaxed) == numa {
 			if prev != 0 {
 				return cur, from, prev
@@ -182,6 +183,7 @@ func (l *Lock) findLocal(p lockapi.Proc, from, numa uint64) (local, prefixHead, 
 
 func (l *Lock) appendSecondary(p lockapi.Proc, head, tail uint64) {
 	p.Store(&l.node(tail).next, 0, lockapi.Relaxed)
+	//lint:order relaxed-ok secondary queue is queue-head-private; the splice's Release link publishes it
 	if p.Load(&l.secHead, lockapi.Relaxed) == 0 {
 		p.Store(&l.secHead, head, lockapi.Relaxed)
 	} else {
@@ -203,6 +205,7 @@ func (l *Lock) spliceSecondaryBefore(p lockapi.Proc, succ uint64) {
 // waiter would break the bounded-bypass policy). Never enqueues, so failure
 // leaves no residual state.
 func (l *Lock) TryAcquire(p lockapi.Proc, _ lockapi.Ctx) bool {
+	//lint:order relaxed-ok queue peek only; the CAS below provides Acquire on success
 	if p.Load(&l.tail, lockapi.Relaxed) != 0 {
 		return false
 	}
