@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint check chaos figures
+.PHONY: build test lint check chaos figures figures-quick
 
 build:
 	$(GO) build ./...
@@ -24,3 +24,10 @@ chaos:
 
 figures:
 	$(GO) run ./cmd/clof-figures -exp all -out figures-out
+
+# Reduced-scale smoke of the experiment engine: a small experiment set on
+# the parallel runner, CSVs + results.json into figures-out/quick/ (kept
+# apart from the checked-in full-scale CSVs). CI uploads the directory as
+# a build artifact.
+figures-quick:
+	$(GO) run ./cmd/clof-figures -exp fig2,fig4,fairness -quick -j 0 -out figures-out/quick

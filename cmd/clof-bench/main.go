@@ -4,9 +4,16 @@
 // contention grid on the simulated LevelDB workload, and reports the
 // HC-best, LC-best and worst locks under both selection policies.
 //
+// The sweep runs on the experiment engine (internal/exp): every
+// (composition, threads) point is an independent job on a bounded worker
+// pool (-j), per-point seeds derive from stable hashing, and -runs > 1
+// reports the median. Output is identical at any -j level. -out records
+// every point as a results.json artifact.
+//
 // Usage:
 //
-//	clof-bench [-platform x86|armv8] [-hier FILE] [-levels 3|4] [-threads CSV] [-runs N] [-v]
+//	clof-bench [-platform x86|armv8] [-hier FILE] [-levels 3|4] [-threads CSV]
+//	           [-runs N] [-seed N] [-j N] [-out FILE] [-preselect K] [-v]
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"strings"
 
 	"github.com/clof-go/clof/internal/clof"
+	"github.com/clof-go/clof/internal/exp"
 	"github.com/clof-go/clof/internal/figures"
 	"github.com/clof-go/clof/internal/lockapi"
 	"github.com/clof-go/clof/internal/locks"
@@ -30,6 +38,9 @@ func main() {
 	levels := flag.Int("levels", 4, "hierarchy depth when no -hier file is given (3 or 4)")
 	threadsCSV := flag.String("threads", "", "comma-separated contention grid (default: the paper's grid)")
 	runs := flag.Int("runs", 1, "runs per measurement point (median)")
+	seed := flag.Uint64("seed", 0, "base seed; per-point seeds derive from it by stable hashing")
+	jobs := flag.Int("j", 0, "parallel grid points (0 = GOMAXPROCS); output is identical at any level")
+	outFile := flag.String("out", "", "optional results.json artifact path")
 	preselect := flag.Int("preselect", 0, "keep only the K best basic locks per level before the sweep (footnote 5; 0 = full N^M)")
 	verbose := flag.Bool("v", false, "print every composition's scores")
 	flag.Parse()
@@ -79,25 +90,73 @@ func main() {
 	}
 	fmt.Printf("scripted benchmark: %s, %d compositions, grid %v\n", h, len(comps), grid)
 
-	done := 0
-	bench := func(comp clof.Composition, threads int) float64 {
-		cfg := workload.LevelDB(m, threads)
-		var sum float64
-		for r := 0; r < *runs; r++ {
-			cfg.Seed = uint64(r) * 2654435761
-			res, err := workload.Run(func() lockapi.Lock { return clof.Must(h, comp) }, cfg)
-			if err != nil {
-				fatal(err)
-			}
-			sum += res.ThroughputOpsPerUs()
-		}
-		done++
-		if done%64 == 0 {
-			fmt.Fprintf(os.Stderr, "  %d/%d measurements\n", done, len(comps)*len(grid))
-		}
-		return sum / float64(*runs)
+	spec := exp.Spec{
+		Name:      "bench",
+		Platform:  m.Arch.String(),
+		Hierarchy: h.String(),
+		Workload:  "leveldb",
+		Threads:   grid,
+		Runs:      *runs,
+		Seed:      *seed,
+		Notes:     "scripted benchmark (§4.3)",
 	}
-	ms := clof.RunScripted(comps, grid, bench)
+	for _, comp := range comps {
+		spec.Locks = append(spec.Locks, comp.String())
+	}
+
+	var points []exp.Point
+	for _, comp := range comps {
+		for _, n := range grid {
+			comp, n := comp, n
+			points = append(points, exp.Point{
+				Key: fmt.Sprintf("comp=%s/threads=%d", comp, n),
+				Run: func(s uint64) exp.Sample {
+					cfg := workload.LevelDB(m, n)
+					cfg.Seed = s
+					res, err := workload.Run(func() lockapi.Lock { return clof.Must(h, comp) }, cfg)
+					if err != nil {
+						return exp.Sample{Err: err.Error()}
+					}
+					return exp.Sample{Throughput: res.ThroughputOpsPerUs(), Jain: res.Jain(), Total: res.Total}
+				},
+			})
+		}
+	}
+
+	var manifest *exp.Manifest
+	if *outFile != "" {
+		manifest = exp.NewManifest(*outFile)
+	}
+	// One line per 64 completed points, mirroring the old cadence. The
+	// runner serializes Progress calls, so the counter needs no lock.
+	done := 0
+	runner := &exp.Runner{
+		Jobs:     *jobs,
+		Manifest: manifest,
+		Progress: func(string) {
+			done++
+			if done%64 == 0 {
+				fmt.Fprintf(os.Stderr, "  %d/%d measurements\n", done, len(points))
+			}
+		},
+	}
+	results := runner.Run(spec, points)
+
+	for _, r := range results {
+		for _, e := range r.Errors {
+			fatal(fmt.Errorf("%s: %s", r.Key, e))
+		}
+	}
+
+	ms := make([]clof.Measurement, len(comps))
+	i := 0
+	for ci, comp := range comps {
+		ms[ci] = clof.Measurement{Comp: comp}
+		for _, n := range grid {
+			ms[ci].Points = append(ms[ci].Points, clof.Point{Threads: n, Throughput: results[i].Throughput()})
+			i++
+		}
+	}
 	sel, err := clof.Select(ms)
 	if err != nil {
 		fatal(err)
@@ -127,6 +186,12 @@ func main() {
 			fmt.Printf("%8.3f", pt.Throughput)
 		}
 		fmt.Println()
+	}
+	if manifest != nil {
+		if err := manifest.Save(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %s (%d points)\n", manifest.Path(), manifest.Len())
 	}
 }
 

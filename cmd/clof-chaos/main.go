@@ -4,13 +4,19 @@
 // preemptions/stalls, the max handover gap, and the starvation verdict for
 // every (plan, lock, threads) point.
 //
-// The sweep is deterministic: with the same flags and seed the output file
-// is byte-identical — catalog order, sorted plan names, and the simulator's
-// seeded virtual time leave nothing to the host scheduler.
+// The sweep runs on the experiment engine (internal/exp): points execute in
+// parallel on a bounded worker pool (-j) with per-point seeds derived by
+// stable hashing from the flag set, so with the same flags the CSV is
+// byte-identical at any -j level. Every point is also recorded in a
+// results.json artifact next to the CSV.
 //
 // Usage:
 //
-//	clof-chaos [-platform x86|armv8] [-locks CSV] [-plans CSV] [-threads CSV] [-seed N] [-horizon NS] [-out FILE]
+//	clof-chaos [-platform x86|armv8] [-locks CSV] [-plans CSV] [-threads CSV]
+//	           [-seed N] [-horizon NS] [-j N] [-out FILE]
+//
+// -locks accepts catalog names and "family:<tag>" filters, e.g.
+// "mcs,family:clof".
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"strings"
 
 	"github.com/clof-go/clof/internal/catalog"
+	"github.com/clof-go/clof/internal/exp"
 	"github.com/clof-go/clof/internal/faultinject"
 	"github.com/clof-go/clof/internal/lockapi"
 	"github.com/clof-go/clof/internal/topo"
@@ -35,12 +42,13 @@ const minShare = 0.05
 
 func main() {
 	platform := flag.String("platform", "x86", "simulated platform: x86 or armv8")
-	locksCSV := flag.String("locks", "", "comma-separated catalog lock names (default: the full catalog)")
+	locksCSV := flag.String("locks", "", "comma-separated catalog lock names or family:<tag> filters (default: the full catalog)")
 	plansCSV := flag.String("plans", "", "comma-separated fault plan names (default: all presets)")
 	threadsCSV := flag.String("threads", "8,16", "comma-separated contention levels")
-	seed := flag.Uint64("seed", 42, "simulation seed (same seed => byte-identical CSV)")
+	seed := flag.Uint64("seed", 42, "base seed (same flags => byte-identical CSV)")
 	horizon := flag.Int64("horizon", workload.DefaultHorizon, "virtual run duration in ns")
-	out := flag.String("out", filepath.Join("figures-out", "chaos.csv"), "output CSV path")
+	jobs := flag.Int("j", 0, "parallel sweep points (0 = GOMAXPROCS); output is identical at any level")
+	out := flag.String("out", filepath.Join("figures-out", "chaos.csv"), "output CSV path (results.json written alongside)")
 	flag.Parse()
 
 	var mach *topo.Machine
@@ -53,16 +61,9 @@ func main() {
 		fatal(fmt.Errorf("unknown platform %q (want x86 or armv8)", *platform))
 	}
 
-	entries := catalog.Locks()
-	if *locksCSV != "" {
-		entries = nil
-		for _, name := range splitCSV(*locksCSV) {
-			e, ok := catalog.ByName(name)
-			if !ok {
-				fatal(fmt.Errorf("unknown lock %q (catalog: %s)", name, strings.Join(catalog.Names(), ", ")))
-			}
-			entries = append(entries, e)
-		}
+	entries, err := catalog.Select(splitCSV(*locksCSV))
+	if err != nil {
+		fatal(err)
 	}
 
 	planNames := faultinject.Names() // sorted
@@ -90,40 +91,89 @@ func main() {
 		grid = append(grid, n)
 	}
 
-	var b strings.Builder
-	b.WriteString("plan,lock,family,threads,total,iter_per_us,jain,abandoned,preemptions,stalls,max_handover_gap_ns,starved\n")
-	points := len(plans) * len(entries) * len(grid)
-	fmt.Fprintf(os.Stderr, "chaos sweep: %s, %d locks x %d plans x %d contention levels = %d points\n",
-		mach.Name, len(entries), len(plans), len(grid), points)
+	spec := exp.Spec{
+		Name:     "chaos",
+		Platform: *platform,
+		Workload: "leveldb",
+		Threads:  grid,
+		Seed:     *seed,
+		Notes:    fmt.Sprintf("fault plans: %s; horizon=%dns", strings.Join(planNames, ","), *horizon),
+	}
+	for _, e := range entries {
+		spec.Locks = append(spec.Locks, e.Name)
+	}
 
-	starvedTotal := 0
+	type rowMeta struct {
+		plan    string
+		entry   catalog.Entry
+		threads int
+	}
+	var rows []rowMeta
+	var points []exp.Point
 	for pi, plan := range plans {
 		for _, e := range entries {
-			e := e
 			for _, threads := range grid {
-				cfg := workload.LevelDB(mach, threads)
-				cfg.Horizon = *horizon
-				cfg.Seed = *seed
-				cfg.Faults = plan
-				res, err := workload.Run(func() lockapi.Lock { return e.New(mach) }, cfg)
-				if err != nil {
-					fatal(fmt.Errorf("plan %s, lock %s, %d threads: %w", planNames[pi], e.Name, threads, err))
-				}
-				if res.ExclusionViolations > 0 {
-					fatal(fmt.Errorf("plan %s, lock %s, %d threads: %d mutual-exclusion violations",
-						planNames[pi], e.Name, threads, res.ExclusionViolations))
-				}
-				starved := len(res.Starved(minShare))
-				starvedTotal += starved
-				fmt.Fprintf(&b, "%s,%s,%s,%d,%d,%s,%s,%d,%d,%d,%d,%d\n",
-					planNames[pi], e.Name, e.Family, threads,
-					res.Total,
-					strconv.FormatFloat(res.ThroughputOpsPerUs(), 'f', 4, 64),
-					strconv.FormatFloat(res.Jain(), 'f', 4, 64),
-					res.Abandoned, res.Preemptions, res.Stalls,
-					res.MaxHandoverGapNS, starved)
+				plan, e, threads := plan, e, threads
+				rows = append(rows, rowMeta{planNames[pi], e, threads})
+				points = append(points, exp.Point{
+					Key: fmt.Sprintf("plan=%s/lock=%s/threads=%d", planNames[pi], e.Name, threads),
+					Run: func(s uint64) exp.Sample {
+						cfg := workload.LevelDB(mach, threads)
+						cfg.Horizon = *horizon
+						cfg.Seed = s
+						cfg.Faults = plan
+						res, err := workload.Run(func() lockapi.Lock { return e.New(mach) }, cfg)
+						if err != nil {
+							return exp.Sample{Err: err.Error()}
+						}
+						return exp.Sample{
+							Throughput: res.ThroughputOpsPerUs(),
+							Jain:       res.Jain(),
+							Total:      res.Total,
+							Metrics: map[string]float64{
+								"abandoned":           float64(res.Abandoned),
+								"preemptions":         float64(res.Preemptions),
+								"stalls":              float64(res.Stalls),
+								"max_handover_gap_ns": float64(res.MaxHandoverGapNS),
+								"starved":             float64(len(res.Starved(minShare))),
+								"violations":          float64(res.ExclusionViolations),
+							},
+						}
+					},
+				})
 			}
 		}
+	}
+
+	fmt.Fprintf(os.Stderr, "chaos sweep: %s, %d locks x %d plans x %d contention levels = %d points\n",
+		mach.Name, len(entries), len(plans), len(grid), len(points))
+
+	manifestPath := strings.TrimSuffix(*out, ".csv") + "-results.json"
+	manifest := exp.NewManifest(manifestPath)
+	runner := &exp.Runner{Jobs: *jobs, Manifest: manifest}
+	results := runner.Run(spec, points)
+
+	var b strings.Builder
+	b.WriteString("plan,lock,family,threads,total,iter_per_us,jain,abandoned,preemptions,stalls,max_handover_gap_ns,starved\n")
+	starvedTotal := 0
+	for i, r := range results {
+		row := rows[i]
+		if len(r.Errors) > 0 {
+			fatal(fmt.Errorf("plan %s, lock %s, %d threads: %s", row.plan, row.entry.Name, row.threads, r.Errors[0]))
+		}
+		if r.Metrics["violations"] > 0 {
+			fatal(fmt.Errorf("plan %s, lock %s, %d threads: %.0f mutual-exclusion violations",
+				row.plan, row.entry.Name, row.threads, r.Metrics["violations"]))
+		}
+		starved := int(r.Metrics["starved"])
+		starvedTotal += starved
+		fmt.Fprintf(&b, "%s,%s,%s,%d,%d,%s,%s,%d,%d,%d,%d,%d\n",
+			row.plan, row.entry.Name, row.entry.Family, row.threads,
+			r.Total,
+			strconv.FormatFloat(r.Tput.Median, 'f', 4, 64),
+			strconv.FormatFloat(r.Jain.Median, 'f', 4, 64),
+			int64(r.Metrics["abandoned"]), int64(r.Metrics["preemptions"]), int64(r.Metrics["stalls"]),
+			int64(r.Metrics["max_handover_gap_ns"]), starved)
 	}
 
 	if err := os.MkdirAll(filepath.Dir(*out), 0o755); err != nil {
@@ -132,7 +182,11 @@ func main() {
 	if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %s (%d rows)\n", *out, points)
+	fmt.Printf("wrote %s (%d rows)\n", *out, len(points))
+	if err := manifest.Save(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d points)\n", manifestPath, manifest.Len())
 	if starvedTotal > 0 {
 		fmt.Printf("watchdog: %d starved-thread observations (threads below %.0f%% of mean progress)\n",
 			starvedTotal, minShare*100)

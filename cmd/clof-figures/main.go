@@ -1,13 +1,17 @@
 // clof-figures regenerates the paper's tables and figures on the NUMA
-// simulator and writes them as CSV (plus ASCII summaries on stderr).
+// simulator and writes them as CSV (plus ASCII summaries on stderr). The
+// measurement grids run on the experiment engine (internal/exp): grid
+// points execute in parallel on a bounded worker pool (-j), per-point seeds
+// are derived by stable hashing, and every point is recorded in a
+// results.json manifest next to the CSVs. Output is byte-for-byte identical
+// at any -j level; -resume skips points already present in the manifest.
 //
 // Usage:
 //
-//	clof-figures [-exp all|table1|fig1|table2|fig2|fig3|fig4|fig9|fig10|fairness|ablations|verify] \
-//	             [-out DIR] [-quick] [-runs N]
+//	clof-figures [-exp ID[,ID...]] [-list] [-out DIR] [-quick] [-runs N] [-j N] [-resume]
 //
-// Every run is deterministic; see EXPERIMENTS.md for the recorded
-// paper-vs-measured comparison.
+// See EXPERIMENTS.md ("The experiment engine") for the artifact schema and
+// the recorded paper-vs-measured comparison.
 package main
 
 import (
@@ -17,29 +21,173 @@ import (
 	"path/filepath"
 	"strings"
 
+	"github.com/clof-go/clof/internal/exp"
 	"github.com/clof-go/clof/internal/figures"
 )
 
+// expCtx is what one experiment's runner gets to work with.
+type expCtx struct {
+	o    figures.Options
+	out  string
+	emit func(*figures.Figure)
+}
+
+// experiment is one runnable entry of the registry.
+type experiment struct {
+	id  string
+	run func(c *expCtx)
+}
+
+// registry lists every experiment in "-exp all" execution order.
+var registry = []experiment{
+	{"table1", func(c *expCtx) { c.emit(figures.Table1()) }},
+	{"fig1", func(c *expCtx) {
+		x86, arm := figures.Fig1(c.o)
+		for name, hm := range map[string]string{"fig1a-x86": x86.ASCII(), "fig1b-armv8": arm.ASCII()} {
+			path := filepath.Join(c.out, name+".txt")
+			if err := os.WriteFile(path, []byte(hm), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}},
+	{"table2", func(c *expCtx) { c.emit(figures.Table2(c.o)) }},
+	{"hier", func(c *expCtx) {
+		for _, h := range figures.DetectedHierarchies(c.o) {
+			fmt.Println("detected hierarchy:", h)
+		}
+	}},
+	{"fig2", func(c *expCtx) { c.emit(figures.Fig2(c.o)) }},
+	{"fig3", func(c *expCtx) {
+		for _, f := range figures.Fig3(c.o) {
+			c.emit(f)
+		}
+	}},
+	{"fig4", func(c *expCtx) { c.emit(figures.Fig4(c.o)) }},
+	{"fig9", func(c *expCtx) {
+		for _, r := range figures.Fig9(c.o) {
+			c.emit(r.Figure)
+			fmt.Printf("%s: HC-best=%s LC-best=%s worst=%s\n",
+				r.Figure.ID, r.Selection.HCBest.Comp, r.Selection.LCBest.Comp, r.Selection.Worst.Comp)
+		}
+	}},
+	{"fig10", func(c *expCtx) {
+		for _, f := range figures.Fig10(c.o) {
+			c.emit(f)
+		}
+	}},
+	{"fairness", func(c *expCtx) { c.emit(figures.Fairness(c.o)) }},
+	{"ablations", func(c *expCtx) {
+		c.emit(figures.AblationKeepLocal(c.o))
+		c.emit(figures.AblationHasWaiters(c.o))
+		c.emit(figures.AblationFastPath(c.o))
+		c.emit(figures.CompositionAnalysis(c.o))
+	}},
+	{"biglittle", func(c *expCtx) { c.emit(figures.BigLittle(c.o)) }},
+	{"verify", func(c *expCtx) {
+		fmt.Println("verification table (see also cmd/clof-verify):")
+		for _, r := range figures.VerificationTable(c.o) {
+			status := "OK"
+			if !r.Result.OK {
+				status = "VIOLATION: " + r.Result.Violation
+			}
+			fmt.Printf("  %-34s %-4s states=%-8d execs=%-8d %8s  %s\n",
+				r.Program, r.Mode, r.Result.States, r.Result.Executions,
+				r.Elapsed.Round(1000000).String(), status)
+		}
+	}},
+}
+
+func knownIDs() []string {
+	ids := make([]string, len(registry))
+	for i, e := range registry {
+		ids[i] = e.id
+	}
+	return ids
+}
+
+// selectExperiments expands a comma-separated -exp value against the
+// registry, preserving registry order and rejecting unknown IDs.
+func selectExperiments(expFlag string) ([]experiment, error) {
+	want := map[string]bool{}
+	for _, id := range strings.Split(expFlag, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		if id == "all" {
+			for _, e := range registry {
+				want[e.id] = true
+			}
+			continue
+		}
+		found := false
+		for _, e := range registry {
+			if e.id == id {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown experiment %q (known: %s)", id, strings.Join(knownIDs(), ", "))
+		}
+		want[id] = true
+	}
+	if len(want) == 0 {
+		return nil, fmt.Errorf("no experiment selected (known: %s)", strings.Join(knownIDs(), ", "))
+	}
+	var out []experiment
+	for _, e := range registry {
+		if want[e.id] {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment id (all, table1, fig1, table2, fig2, fig3, fig4, fig9, fig10, fairness, ablations, biglittle, verify, hier)")
-	out := flag.String("out", "figures-out", "output directory for CSV files")
+	expFlag := flag.String("exp", "all", "comma-separated experiment IDs (see -list), or all")
+	list := flag.Bool("list", false, "print the known experiment IDs and exit")
+	out := flag.String("out", "figures-out", "output directory for CSVs and results.json")
 	quickFlag := flag.Bool("quick", false, "reduced grids and horizons (smoke run)")
 	runs := flag.Int("runs", 0, "repetitions per point (0 = experiment default)")
+	jobs := flag.Int("j", 0, "parallel grid points (0 = GOMAXPROCS); output is identical at any level")
+	resume := flag.Bool("resume", false, "reuse points already recorded in <out>/results.json")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
-	o := figures.Options{Quick: *quickFlag, Runs: *runs}
-	if !*quiet {
-		o.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  "+s) }
+	if *list {
+		for _, id := range knownIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	selected, err := selectExperiments(*expFlag)
+	if err != nil {
+		fatal(err)
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
 
-	want := func(name string) bool { return *exp == "all" || *exp == name }
-	ran := false
+	manifestPath := filepath.Join(*out, "results.json")
+	var manifest *exp.Manifest
+	if *resume {
+		if manifest, err = exp.LoadManifest(manifestPath); err != nil {
+			fatal(err)
+		}
+	} else {
+		manifest = exp.NewManifest(manifestPath)
+	}
 
-	emit := func(f *figures.Figure) {
+	o := figures.Options{Quick: *quickFlag, Runs: *runs, Jobs: *jobs, Manifest: manifest}
+	if !*quiet {
+		o.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  "+s) }
+	}
+
+	c := &expCtx{o: o, out: *out}
+	c.emit = func(f *figures.Figure) {
 		path := filepath.Join(*out, f.ID+".csv")
 		file, err := os.Create(path)
 		if err != nil {
@@ -55,90 +203,13 @@ func main() {
 		fmt.Printf("wrote %s\n", path)
 	}
 
-	if want("table1") {
-		ran = true
-		emit(figures.Table1())
+	for _, e := range selected {
+		e.run(c)
 	}
-	if want("fig1") {
-		ran = true
-		x86, arm := figures.Fig1(o)
-		for name, hm := range map[string]string{"fig1a-x86": x86.ASCII(), "fig1b-armv8": arm.ASCII()} {
-			path := filepath.Join(*out, name+".txt")
-			if err := os.WriteFile(path, []byte(hm), 0o644); err != nil {
-				fatal(err)
-			}
-			fmt.Printf("wrote %s\n", path)
-		}
+	if err := manifest.Save(); err != nil {
+		fatal(err)
 	}
-	if want("table2") {
-		ran = true
-		emit(figures.Table2(o))
-	}
-	if want("hier") {
-		ran = true
-		for _, h := range figures.DetectedHierarchies(o) {
-			fmt.Println("detected hierarchy:", h)
-		}
-	}
-	if want("fig2") {
-		ran = true
-		emit(figures.Fig2(o))
-	}
-	if want("fig3") {
-		ran = true
-		for _, f := range figures.Fig3(o) {
-			emit(f)
-		}
-	}
-	if want("fig4") {
-		ran = true
-		emit(figures.Fig4(o))
-	}
-	if want("fig9") {
-		ran = true
-		for _, r := range figures.Fig9(o) {
-			emit(r.Figure)
-			fmt.Printf("%s: HC-best=%s LC-best=%s worst=%s\n",
-				r.Figure.ID, r.Selection.HCBest.Comp, r.Selection.LCBest.Comp, r.Selection.Worst.Comp)
-		}
-	}
-	if want("fig10") {
-		ran = true
-		for _, f := range figures.Fig10(o) {
-			emit(f)
-		}
-	}
-	if want("fairness") {
-		ran = true
-		emit(figures.Fairness(o))
-	}
-	if want("ablations") {
-		ran = true
-		emit(figures.AblationKeepLocal(o))
-		emit(figures.AblationHasWaiters(o))
-		emit(figures.AblationFastPath(o))
-		emit(figures.CompositionAnalysis(o))
-	}
-	if want("biglittle") {
-		ran = true
-		emit(figures.BigLittle(o))
-	}
-	if want("verify") {
-		ran = true
-		fmt.Println("verification table (see also cmd/clof-verify):")
-		for _, r := range figures.VerificationTable(o) {
-			status := "OK"
-			if !r.Result.OK {
-				status = "VIOLATION: " + r.Result.Violation
-			}
-			fmt.Printf("  %-34s %-4s states=%-8d execs=%-8d %8s  %s\n",
-				r.Program, r.Mode, r.Result.States, r.Result.Executions,
-				r.Elapsed.Round(1000000).String(), status)
-		}
-	}
-	if !ran {
-		fatal(fmt.Errorf("unknown experiment %q", *exp))
-	}
+	fmt.Printf("wrote %s (%d points)\n", manifestPath, manifest.Len())
 }
 
 func fatal(err error) {

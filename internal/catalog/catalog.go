@@ -13,6 +13,9 @@
 package catalog
 
 import (
+	"fmt"
+	"strings"
+
 	"github.com/clof-go/clof/internal/clof"
 	"github.com/clof-go/clof/internal/cna"
 	"github.com/clof-go/clof/internal/cohort"
@@ -108,6 +111,60 @@ func ByName(name string) (Entry, bool) {
 		}
 	}
 	return Entry{}, false
+}
+
+// Lookup returns the named entry, or an error that names the full catalog —
+// the one place sweep CLIs resolve user-supplied lock names.
+func Lookup(name string) (Entry, error) {
+	if e, ok := ByName(name); ok {
+		return e, nil
+	}
+	return Entry{}, fmt.Errorf("unknown lock %q (catalog: %s)", name, strings.Join(Names(), ", "))
+}
+
+// ByFamily returns the entries of one family tag, in catalog order.
+func ByFamily(family string) []Entry {
+	var out []Entry
+	for _, e := range Locks() {
+		if e.Family == family {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Select resolves selectors — catalog names or "family:<tag>" filters — to
+// entries in catalog order, deduplicated. An empty selector list yields the
+// full catalog.
+func Select(selectors []string) ([]Entry, error) {
+	if len(selectors) == 0 {
+		return Locks(), nil
+	}
+	want := map[string]bool{}
+	for _, sel := range selectors {
+		if fam, ok := strings.CutPrefix(sel, "family:"); ok {
+			es := ByFamily(fam)
+			if len(es) == 0 {
+				return nil, fmt.Errorf("unknown lock family %q (families: %s)", fam, strings.Join(Families(), ", "))
+			}
+			for _, e := range es {
+				want[e.Name] = true
+			}
+			continue
+		}
+		e, err := Lookup(sel)
+		if err != nil {
+			return nil, err
+		}
+		want[e.Name] = true
+	}
+	var out []Entry
+	for _, e := range Locks() {
+		if want[e.Name] {
+			out = append(out, e)
+		}
+	}
+	return out, nil
 }
 
 // Names lists the catalog names in catalog order.

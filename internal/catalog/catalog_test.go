@@ -1,6 +1,7 @@
 package catalog
 
 import (
+	"strings"
 	"testing"
 
 	"github.com/clof-go/clof/internal/lockapi"
@@ -49,6 +50,72 @@ func TestByName(t *testing.T) {
 	}
 	if _, ok := ByName("nope"); ok {
 		t.Error("bogus name resolved")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	e, err := Lookup("mcs")
+	if err != nil || e.Name != "mcs" {
+		t.Errorf("Lookup(mcs) = %v, %v", e.Name, err)
+	}
+	_, err = Lookup("nope")
+	if err == nil {
+		t.Fatal("Lookup(nope) did not fail")
+	}
+	// The error must name the catalog so CLI users can self-correct.
+	if !strings.Contains(err.Error(), "mcs") || !strings.Contains(err.Error(), "nope") {
+		t.Errorf("Lookup error unhelpful: %v", err)
+	}
+}
+
+func TestByFamily(t *testing.T) {
+	for _, fam := range Families() {
+		es := ByFamily(fam)
+		if len(es) == 0 {
+			t.Errorf("family %q has no entries", fam)
+		}
+		for _, e := range es {
+			if e.Family != fam {
+				t.Errorf("ByFamily(%q) returned %q of family %q", fam, e.Name, e.Family)
+			}
+		}
+	}
+	if es := ByFamily("nope"); es != nil {
+		t.Errorf("bogus family resolved to %d entries", len(es))
+	}
+}
+
+func TestSelect(t *testing.T) {
+	all, err := Select(nil)
+	if err != nil || len(all) != len(Locks()) {
+		t.Fatalf("empty Select = %d entries, %v; want full catalog", len(all), err)
+	}
+	es, err := Select([]string{"mcs", "family:clof", "mcs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"mcs": true}
+	for _, e := range ByFamily("clof") {
+		want[e.Name] = true
+	}
+	if len(es) != len(want) {
+		t.Errorf("Select returned %d entries, want %d (deduplicated)", len(es), len(want))
+	}
+	// Catalog order must be preserved regardless of selector order.
+	order := map[string]int{}
+	for i, n := range Names() {
+		order[n] = i
+	}
+	for i := 1; i < len(es); i++ {
+		if order[es[i-1].Name] >= order[es[i].Name] {
+			t.Errorf("Select output out of catalog order: %s before %s", es[i-1].Name, es[i].Name)
+		}
+	}
+	if _, err := Select([]string{"family:nope"}); err == nil {
+		t.Error("bogus family selector did not fail")
+	}
+	if _, err := Select([]string{"nope"}); err == nil {
+		t.Error("bogus name selector did not fail")
 	}
 }
 

@@ -1,0 +1,150 @@
+package exp
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Manifest is the results.json artifact: every Result the engine produced,
+// in completion order (spec by spec, point order within a spec). It is safe
+// for concurrent use by one Runner's workers and doubles as the resume
+// cache — Lookup hits skip re-measurement.
+type Manifest struct {
+	mu       sync.Mutex
+	path     string
+	specs    []Spec
+	specSeen map[string]bool
+	results  []Result
+	index    map[string]int // spec_hash + "\x00" + key -> results slot
+}
+
+// manifestFile is the on-disk schema of results.json.
+type manifestFile struct {
+	Version int      `json:"version"`
+	Specs   []Spec   `json:"specs"`
+	Results []Result `json:"results"`
+}
+
+// NewManifest returns an empty manifest that Save writes to path.
+func NewManifest(path string) *Manifest {
+	return &Manifest{path: path, specSeen: map[string]bool{}, index: map[string]int{}}
+}
+
+// LoadManifest reads a results.json for resuming. A missing file yields an
+// empty manifest (first run); a malformed or version-mismatched file is an
+// error rather than a silent cache miss.
+func LoadManifest(path string) (*Manifest, error) {
+	b, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return NewManifest(path), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var f manifestFile
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, fmt.Errorf("exp: parse %s: %w", path, err)
+	}
+	if f.Version != SchemaVersion {
+		return nil, fmt.Errorf("exp: %s has schema version %d, want %d", path, f.Version, SchemaVersion)
+	}
+	m := NewManifest(path)
+	for _, s := range f.Specs {
+		m.AddSpec(s)
+	}
+	for _, r := range f.Results {
+		r.Cached = false // staleness of the *previous* run does not persist
+		m.Add(r)
+	}
+	return m, nil
+}
+
+// AddSpec records a spec for provenance (deduplicated by hash).
+func (m *Manifest) AddSpec(s Spec) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := s.Hash()
+	if !m.specSeen[h] {
+		m.specSeen[h] = true
+		m.specs = append(m.specs, s)
+	}
+}
+
+// Specs returns a copy of the recorded specs in insertion order.
+func (m *Manifest) Specs() []Spec {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Spec(nil), m.specs...)
+}
+
+// Path returns the file Save writes to.
+func (m *Manifest) Path() string { return m.path }
+
+// Len returns the number of recorded results.
+func (m *Manifest) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.results)
+}
+
+// Lookup returns the recorded result for (specHash, key), if present.
+func (m *Manifest) Lookup(specHash, key string) (Result, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	i, ok := m.index[specHash+"\x00"+key]
+	if !ok {
+		return Result{}, false
+	}
+	return m.results[i], true
+}
+
+// Add records a result; a later Add for the same (spec hash, key) replaces
+// the earlier record, so re-measured points shadow stale cache entries.
+func (m *Manifest) Add(r Result) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := r.SpecHash + "\x00" + r.Key
+	if i, ok := m.index[k]; ok {
+		m.results[i] = r
+		return
+	}
+	m.index[k] = len(m.results)
+	m.results = append(m.results, r)
+}
+
+// Results returns a copy of the recorded results in insertion order.
+func (m *Manifest) Results() []Result {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Result(nil), m.results...)
+}
+
+// Save writes the artifact (indented JSON, trailing newline) atomically via
+// a sibling temp file.
+func (m *Manifest) Save() error {
+	m.mu.Lock()
+	f := manifestFile{Version: SchemaVersion, Specs: m.specs, Results: m.results}
+	path := m.path
+	m.mu.Unlock()
+	if path == "" {
+		return fmt.Errorf("exp: manifest has no path")
+	}
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,46 @@
+package exp
+
+import "sort"
+
+// Stats summarizes a set of per-run samples. The Median is the value every
+// sweep reports (the CSVs' cell); Min/Max/Mean are provenance for the
+// artifact.
+type Stats struct {
+	Median float64 `json:"median"`
+	Mean   float64 `json:"mean,omitempty"`
+	Min    float64 `json:"min,omitempty"`
+	Max    float64 `json:"max,omitempty"`
+}
+
+// Median returns the upper median of vs (0 when empty) without mutating the
+// input. The upper median matches the historic medianTput helper the
+// figures and bench CLIs used, so refactored sweeps reproduce the same
+// per-point values for a given sample set.
+func Median(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+// Summarize computes the full Stats of vs (zero Stats when empty).
+func Summarize(vs []float64) Stats {
+	if len(vs) == 0 {
+		return Stats{}
+	}
+	st := Stats{Median: Median(vs), Min: vs[0], Max: vs[0]}
+	var sum float64
+	for _, v := range vs {
+		if v < st.Min {
+			st.Min = v
+		}
+		if v > st.Max {
+			st.Max = v
+		}
+		sum += v
+	}
+	st.Mean = sum / float64(len(vs))
+	return st
+}

@@ -1,0 +1,72 @@
+package figures
+
+import (
+	"bytes"
+	"testing"
+)
+
+// csvBytes renders a figure the way cmd/clof-figures writes it to disk.
+func csvBytes(t *testing.T, f *Figure) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := f.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// TestFig9DeterministicAcrossJobs is the ISSUE acceptance criterion: the
+// quick fig9 sweep must produce byte-identical CSVs at -j 1 and -j 8, and
+// across repeated parallel runs (worker scheduling must not leak into
+// results). Uses the same reduced panel as TestFig9PanelShape.
+func TestFig9DeterministicAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("composition sweep is expensive")
+	}
+	run := func(jobs int) ([]byte, string) {
+		o := quick
+		o.Jobs = jobs
+		res := Fig9Panel(Arm(), 3, o)
+		return csvBytes(t, res.Figure), res.Selection.HCBest.Comp.String()
+	}
+	seq, seqBest := run(1)
+	par1, par1Best := run(8)
+	par2, _ := run(8)
+	if !bytes.Equal(seq, par1) {
+		t.Errorf("fig9 CSV differs between -j 1 and -j 8")
+	}
+	if !bytes.Equal(par1, par2) {
+		t.Errorf("fig9 CSV differs across two -j 8 runs")
+	}
+	if seqBest != par1Best {
+		t.Errorf("HC-best selection differs: %s (-j 1) vs %s (-j 8)", seqBest, par1Best)
+	}
+}
+
+// TestFig10DeterministicAcrossJobs: the four quick fig10 panels are
+// byte-identical at -j 1 and -j 8.
+func TestFig10DeterministicAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig10 is expensive")
+	}
+	run := func(jobs int) [][]byte {
+		o := quick
+		o.Runs = 1
+		o.Jobs = jobs
+		figs := Fig10(o)
+		out := make([][]byte, len(figs))
+		for i, f := range figs {
+			out[i] = csvBytes(t, f)
+		}
+		return out
+	}
+	seq, par := run(1), run(8)
+	if len(seq) != len(par) {
+		t.Fatalf("panel count differs: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if !bytes.Equal(seq[i], par[i]) {
+			t.Errorf("fig10 panel %d CSV differs between -j 1 and -j 8", i)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package figures
 import (
 	"fmt"
 
+	"github.com/clof-go/clof/internal/exp"
 	"github.com/clof-go/clof/internal/topo"
 	"github.com/clof-go/clof/internal/workload"
 )
@@ -25,25 +26,22 @@ func BigLittle(o Options) *Figure {
 		YLabel: "iter/us",
 	}
 	grid := []int{2, 4, 8}
-	for _, e := range []struct {
-		name string
-		mk   workload.LockFactory
-	}{
+	entries := []lockEntry{
 		{"mcs (cluster-oblivious)", basicFactory("mcs")},
 		{"clof tkt-tkt (cluster-aware)", clofFactory(h, "tkt-tkt")},
 		{"clof clh-tkt (cluster-aware)", clofFactory(h, "clh-tkt")},
 		{"hmcs<2>", hmcsFactory(h)},
-	} {
-		o.progress("biglittle: %s", e.name)
-		s := Series{Name: e.name}
-		for _, n := range grid {
-			cfg := o.adjust(workload.LevelDB(m, n))
-			cfg.CPUSpeed = speeds
-			s.X = append(s.X, n)
-			s.Y = append(s.Y, medianTput(e.mk, cfg, o.Runs))
-		}
-		f.Series = append(f.Series, s)
 	}
+	cfgFor := func(n int) workload.Config {
+		cfg := o.adjust(workload.LevelDB(m, n))
+		cfg.CPUSpeed = speeds
+		return cfg
+	}
+	spec := exp.Spec{
+		Name: "biglittle", Platform: "biglittle", Workload: "leveldb",
+		Notes: "asymmetric SoC, LITTLE cluster 3x slower",
+	}
+	f.Series = runCurves(o, spec, entries, cfgFor, grid)
 
 	// Per-cluster throughput split at full contention for the two extremes.
 	for _, e := range []struct {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/clof-go/clof/internal/clof"
+	"github.com/clof-go/clof/internal/exp"
 	"github.com/clof-go/clof/internal/locks"
 	"github.com/clof-go/clof/internal/mcheck"
 	"github.com/clof-go/clof/internal/workload"
@@ -25,19 +26,36 @@ func AblationKeepLocal(o Options) *Figure {
 		XLabel: "threshold",
 		YLabel: "iter/us",
 	}
+	thresholds := []uint64{1, 8, 32, 128, 512}
+	spec := exp.Spec{
+		Name: f.ID, Platform: "armv8", Workload: "leveldb",
+		Threads: []int{n}, Runs: o.Runs, Quick: o.Quick,
+		Locks: []string{PaperLC4Arm},
+		Notes: "keep_local threshold sweep over H in {1,8,32,128,512}",
+	}
+	var points []exp.Point
+	for _, h := range thresholds {
+		h := h
+		points = append(points, exp.Point{
+			Key: fmt.Sprintf("h=%d/threads=%d", h, n),
+			Run: func(seed uint64) exp.Sample {
+				cfg := o.adjust(workload.LevelDB(p.Machine, n))
+				cfg.Seed = seed
+				return measure(clofFactory(p.H4, PaperLC4Arm, clof.WithThreshold(h)), cfg)
+			},
+		})
+	}
+	results := o.runner().Run(spec, points)
 	tput := Series{Name: "throughput"}
 	jain := Series{Name: "jain-x10"}
-	for _, h := range []uint64{1, 8, 32, 128, 512} {
-		o.progress("ablation-keeplocal: H=%d", h)
-		cfg := o.adjust(workload.LevelDB(p.Machine, n))
-		res, err := workload.Run(clofFactory(p.H4, PaperLC4Arm, clof.WithThreshold(h)), cfg)
-		if err != nil {
+	for i, h := range thresholds {
+		if len(results[i].Errors) > 0 {
 			continue
 		}
 		tput.X = append(tput.X, int(h))
-		tput.Y = append(tput.Y, res.ThroughputOpsPerUs())
+		tput.Y = append(tput.Y, results[i].Throughput())
 		jain.X = append(jain.X, int(h))
-		jain.Y = append(jain.Y, res.Jain()*10)
+		jain.Y = append(jain.Y, results[i].Jain.Median*10)
 	}
 	f.Series = append(f.Series, tput, jain)
 	return f
@@ -57,12 +75,12 @@ func AblationHasWaiters(o Options) *Figure {
 		XLabel: "threads",
 		YLabel: "iter/us",
 	}
-	o.progress("ablation-haswaiters: custom detectors")
-	f.Series = append(f.Series,
-		curve("custom-detector", clofFactory(p.H4, comp), cfgFor, grid, o.Runs))
-	o.progress("ablation-haswaiters: waiters counter")
-	f.Series = append(f.Series,
-		curve("waiters-counter", clofFactory(p.H4, comp, clof.WithoutCustomHasWaiters()), cfgFor, grid, o.Runs))
+	entries := []lockEntry{
+		{"custom-detector", clofFactory(p.H4, comp)},
+		{"waiters-counter", clofFactory(p.H4, comp, clof.WithoutCustomHasWaiters())},
+	}
+	spec := exp.Spec{Name: f.ID, Platform: "x86", Workload: "leveldb", Notes: "composition " + comp}
+	f.Series = runCurves(o, spec, entries, cfgFor, grid)
 	return f
 }
 
@@ -79,12 +97,12 @@ func AblationFastPath(o Options) *Figure {
 		XLabel: "threads",
 		YLabel: "iter/us",
 	}
-	o.progress("ablation-fastpath: plain")
-	f.Series = append(f.Series,
-		curve("plain", clofFactory(p.H4, PaperLC4Arm), cfgFor, grid, o.Runs))
-	o.progress("ablation-fastpath: fast path")
-	f.Series = append(f.Series,
-		curve("tas-fastpath", clofFactory(p.H4, PaperLC4Arm, clof.WithTASFastPath()), cfgFor, grid, o.Runs))
+	entries := []lockEntry{
+		{"plain", clofFactory(p.H4, PaperLC4Arm)},
+		{"tas-fastpath", clofFactory(p.H4, PaperLC4Arm, clof.WithTASFastPath())},
+	}
+	spec := exp.Spec{Name: f.ID, Platform: "armv8", Workload: "leveldb", Notes: "composition " + PaperLC4Arm}
+	f.Series = runCurves(o, spec, entries, cfgFor, grid)
 	return f
 }
 

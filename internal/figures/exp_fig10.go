@@ -1,6 +1,9 @@
 package figures
 
 import (
+	"fmt"
+
+	"github.com/clof-go/clof/internal/exp"
 	"github.com/clof-go/clof/internal/topo"
 	"github.com/clof-go/clof/internal/workload"
 )
@@ -11,21 +14,15 @@ import (
 // against HMCS⟨4⟩, CNA and ShflLock. Running a lock selected for the other
 // platform shows that best locks do not transfer (§5.3.1).
 //
-// Four panels: fig10-{leveldb,kyoto}-{x86,armv8}.
+// Four panels, one engine spec each: fig10-{leveldb,kyoto}-{x86,armv8}.
 func Fig10(o Options) []*Figure {
-	runs := o.Runs
-	if runs == 0 {
-		runs = 3 // the paper's #runs=3 for this experiment
-	}
+	runs := comparisonRuns(o) // the paper's #runs=3 for this experiment
 	var out []*Figure
 	for _, pl := range []Platform{X86(), Arm()} {
 		arch := pl.Machine.Arch
 		// The 3-/4-level compositions of BOTH platforms, instantiated on
 		// THIS platform's hierarchies.
-		entries := []struct {
-			name string
-			mk   workload.LockFactory
-		}{
+		entries := []lockEntry{
 			{"clof<3>-x86 (" + PaperLC3X86 + ")", clofFactory(pl.H3, PaperLC3X86)},
 			{"clof<4>-x86 (" + PaperLC4X86 + ")", clofFactory(pl.H4, PaperLC4X86)},
 			{"clof<3>-arm (" + PaperLC3Arm + ")", clofFactory(pl.H3, PaperLC3Arm)},
@@ -47,11 +44,8 @@ func Fig10(o Options) []*Figure {
 				XLabel: "threads",
 				YLabel: "iter/us",
 			}
-			grid := o.grid(pl)
-			for _, e := range entries {
-				o.progress("fig10 %s %s: %s", wl.name, arch, e.name)
-				f.Series = append(f.Series, curve(e.name, e.mk, wl.cfgFor, grid, runs))
-			}
+			spec := exp.Spec{Name: f.ID, Platform: arch.String(), Workload: wl.name, Runs: runs}
+			f.Series = runCurves(o, spec, entries, wl.cfgFor, o.grid(pl))
 			out = append(out, f)
 		}
 	}
@@ -73,26 +67,50 @@ func Fairness(o Options) *Figure {
 		if pl.Machine.Arch == topo.ArmV8 {
 			comp = PaperLC4Arm
 		}
-		for _, e := range []struct {
-			name string
-			mk   workload.LockFactory
-		}{
+		entries := []lockEntry{
 			{"clof<4>-" + pl.Machine.Arch.String(), clofFactory(pl.H4, comp)},
 			{"hmcs<4>-" + pl.Machine.Arch.String(), hmcsFactory(pl.H4)},
-		} {
+		}
+		var grid []int
+		for _, n := range o.grid(pl) {
+			if n >= 8 { // fairness is only meaningful under contention
+				grid = append(grid, n)
+			}
+		}
+		spec := exp.Spec{
+			Name:     "fairness-" + pl.Machine.Arch.String(),
+			Platform: pl.Machine.Arch.String(),
+			Workload: "leveldb",
+			Threads:  grid,
+			Runs:     o.Runs,
+			Quick:    o.Quick,
+			Locks:    []string{entries[0].name, entries[1].name},
+			Notes:    "reported value is the Jain fairness index, not throughput",
+		}
+		var points []exp.Point
+		for _, e := range entries {
+			for _, n := range grid {
+				e, n, m := e, n, pl.Machine
+				points = append(points, exp.Point{
+					Key: fmt.Sprintf("lock=%s/threads=%d", e.name, n),
+					Run: func(seed uint64) exp.Sample {
+						cfg := o.adjust(workload.LevelDB(m, n))
+						cfg.Seed = seed
+						return measure(e.mk, cfg)
+					},
+				})
+			}
+		}
+		results := o.runner().Run(spec, points)
+		i := 0
+		for _, e := range entries {
 			s := Series{Name: e.name}
-			for _, n := range o.grid(pl) {
-				if n < 8 {
-					continue // fairness is only meaningful under contention
+			for _, n := range grid {
+				if len(results[i].Errors) == 0 {
+					s.X = append(s.X, n)
+					s.Y = append(s.Y, results[i].Jain.Median)
 				}
-				cfg := o.adjust(workload.LevelDB(pl.Machine, n))
-				res, err := workload.Run(e.mk, cfg)
-				if err != nil {
-					continue
-				}
-				o.progress("fairness: %s at %d threads", e.name, n)
-				s.X = append(s.X, n)
-				s.Y = append(s.Y, res.Jain())
+				i++
 			}
 			f.Series = append(f.Series, s)
 		}

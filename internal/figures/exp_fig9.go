@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/clof-go/clof/internal/clof"
+	"github.com/clof-go/clof/internal/exp"
 	"github.com/clof-go/clof/internal/locks"
 	"github.com/clof-go/clof/internal/workload"
 )
@@ -16,9 +17,10 @@ type Fig9Result struct {
 }
 
 // Fig9Panel runs the scripted benchmark (§4.3) for one platform/hierarchy:
-// generate all N^M compositions, measure each across the contention grid,
-// rank under both policies. Panels: ("x86",4)=fig9a, ("armv8",4)=fig9b,
-// ("x86",3)=fig9c, ("armv8",3)=fig9d.
+// generate all N^M compositions, measure each across the contention grid as
+// one engine spec (every (composition, threads) point is an independent
+// parallel job), rank under both policies. Panels: ("x86",4)=fig9a,
+// ("armv8",4)=fig9b, ("x86",3)=fig9c, ("armv8",3)=fig9d.
 func Fig9Panel(p Platform, levels int, o Options) Fig9Result {
 	h := p.H4
 	if levels == 3 {
@@ -27,31 +29,68 @@ func Fig9Panel(p Platform, levels int, o Options) Fig9Result {
 	basics := locks.BasicLocks(p.Machine.Arch)
 	comps := clof.Generate(basics, levels)
 	grid := o.grid(p)
-
-	bench := func(comp clof.Composition, threads int) float64 {
-		cfg := o.adjust(workload.LevelDB(p.Machine, threads))
-		// The paper's scripted benchmark uses a single quick run per point.
-		return medianTput(compFactory(h, comp), cfg, o.Runs)
-	}
-	var done int
-	measure := func(comp clof.Composition, threads int) float64 {
-		v := bench(comp, threads)
-		done++
-		if done%64 == 0 {
-			o.progress("fig9 %s %d-level: %d/%d measurements", p.Machine.Arch, levels, done, len(comps)*len(grid))
-		}
-		return v
-	}
-	ms := clof.RunScripted(comps, grid, measure)
-	sel, err := clof.Select(ms)
-	if err != nil {
-		panic(err) // comps is never empty here
-	}
+	cfgFor := func(n int) workload.Config { return o.adjust(workload.LevelDB(p.Machine, n)) }
 
 	id := map[string]string{
 		"x86/4": "fig9a", "armv8/4": "fig9b",
 		"x86/3": "fig9c", "armv8/3": "fig9d",
 	}[fmt.Sprintf("%s/%d", p.Machine.Arch, levels)]
+
+	hmcsName := fmt.Sprintf("hmcs<%d>", levels)
+	spec := exp.Spec{
+		Name:      id,
+		Platform:  p.Machine.Arch.String(),
+		Hierarchy: h.String(),
+		Workload:  "leveldb",
+		Threads:   grid,
+		Runs:      o.Runs,
+		Quick:     o.Quick,
+		Notes:     fmt.Sprintf("scripted benchmark: all %d compositions at %d levels plus the %s baseline", len(comps), levels, hmcsName),
+	}
+	for _, comp := range comps {
+		spec.Locks = append(spec.Locks, comp.String())
+	}
+	spec.Locks = append(spec.Locks, hmcsName)
+
+	points := make([]exp.Point, 0, (len(comps)+1)*len(grid))
+	for _, comp := range comps {
+		for _, n := range grid {
+			comp, n := comp, n
+			points = append(points, exp.Point{
+				Key: fmt.Sprintf("comp=%s/threads=%d", comp, n),
+				Run: func(seed uint64) exp.Sample {
+					cfg := cfgFor(n)
+					cfg.Seed = seed
+					return measure(compFactory(h, comp), cfg)
+				},
+			})
+		}
+	}
+	for _, n := range grid {
+		points = append(points, curvePoint(hmcsName, hmcsFactory(h), cfgFor, n))
+	}
+	results := o.runner().Run(spec, points)
+
+	ms := make([]clof.Measurement, len(comps))
+	i := 0
+	for ci, comp := range comps {
+		ms[ci] = clof.Measurement{Comp: comp}
+		for _, n := range grid {
+			ms[ci].Points = append(ms[ci].Points, clof.Point{Threads: n, Throughput: results[i].Throughput()})
+			i++
+		}
+	}
+	hmcsSeries := Series{Name: hmcsName}
+	for _, n := range grid {
+		hmcsSeries.X = append(hmcsSeries.X, n)
+		hmcsSeries.Y = append(hmcsSeries.Y, results[i].Throughput())
+		i++
+	}
+	sel, err := clof.Select(ms)
+	if err != nil {
+		panic(err) // comps is never empty here
+	}
+
 	f := &Figure{
 		ID:     id,
 		Title:  fmt.Sprintf("all %d CLoF compositions, %d levels, %s", len(comps), levels, p.Machine.Arch),
@@ -68,11 +107,10 @@ func Fig9Panel(p Platform, levels int, o Options) Fig9Result {
 		}
 		return s
 	}
-	cfgFor := func(n int) workload.Config { return o.adjust(workload.LevelDB(p.Machine, n)) }
 	f.Series = append(f.Series,
 		toSeries("HC-best", sel.HCBest),
 		toSeries("LC-best", sel.LCBest),
-		curve(fmt.Sprintf("hmcs<%d>", levels), hmcsFactory(h), cfgFor, grid, o.Runs),
+		hmcsSeries,
 		toSeries("worst", sel.Worst),
 	)
 	// Then the full beam of gray lines.
@@ -110,10 +148,12 @@ func CompositionAnalysis(o Options) *Figure {
 		XLabel: "threads",
 		YLabel: "iter/us",
 	}
+	var entries []lockEntry
 	for _, comp := range []string{PaperLC4Arm /* tkt-clh-tkt-tkt */, "tkt-tkt-tkt-tkt", "mcs-tkt-tkt-tkt"} {
-		o.progress("composition-analysis: %s", comp)
-		f.Series = append(f.Series, curve(comp, clofFactory(p.H4, comp), cfgFor, grid, o.Runs))
+		entries = append(entries, lockEntry{comp, clofFactory(p.H4, comp)})
 	}
+	spec := exp.Spec{Name: f.ID, Platform: "armv8", Workload: "leveldb"}
+	f.Series = runCurves(o, spec, entries, cfgFor, grid)
 	f.Notes = append(f.Notes, "series 2 and 3 put Ticketlock at the NUMA level (position 2 of 4)")
 	return f
 }

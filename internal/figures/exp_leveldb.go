@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/clof-go/clof/internal/clof"
+	"github.com/clof-go/clof/internal/exp"
 	"github.com/clof-go/clof/internal/lockapi"
 	"github.com/clof-go/clof/internal/locks"
 	"github.com/clof-go/clof/internal/topo"
@@ -24,20 +25,26 @@ func Fig2(o Options) *Figure {
 		XLabel: "threads",
 		YLabel: "iter/us",
 	}
-	for _, e := range []struct {
-		name string
-		mk   workload.LockFactory
-	}{
+	entries := []lockEntry{
 		{"mcs", basicFactory("mcs")},
 		{"hmcs<2>", hmcsFactory(h2)},
 		{"hmcs<3>", hmcsFactory(h3)},
 		{"hmcs<4>", hmcsFactory(p.H4)},
 		{"clof<4>-x86 (" + PaperLC4X86 + ")", clofFactory(p.H4, PaperLC4X86)},
-	} {
-		o.progress("fig2: %s", e.name)
-		f.Series = append(f.Series, curve(e.name, e.mk, cfgFor, grid, o.Runs))
 	}
+	spec := exp.Spec{Name: "fig2", Platform: "x86", Workload: "leveldb", Runs: comparisonRuns(o)}
+	f.Series = runCurves(o, spec, entries, cfgFor, grid)
 	return f
+}
+
+// comparisonRuns is the repetition default for the head-to-head comparison
+// figures (2, 4, 10): median of 3, so a single unlucky jitter seed cannot
+// move a curve at the parity tolerances the shape tests assert.
+func comparisonRuns(o Options) int {
+	if o.Runs != 0 {
+		return o.Runs
+	}
+	return 3
 }
 
 // cohortCPUs returns the Fig. 3 pinning for one cohort at `level`: one
@@ -64,9 +71,11 @@ func cohortCPUs(m *topo.Machine, level topo.Level) []int {
 // Fig3 reproduces the per-cohort basic-lock comparison (paper Fig. 3):
 // LevelDB throughput of each NUMA-oblivious lock inside single cohorts of
 // every level, at maximum (one thread per child cohort) contention. One
-// Figure per platform.
+// Figure per platform. The X axis is the hierarchy level, so the grid
+// points carry level keys instead of thread counts.
 func Fig3(o Options) []*Figure {
 	var out []*Figure
+	lockNames := []string{"tkt", "mcs", "clh", "hem", "hem-ctr"}
 	for _, pl := range []struct {
 		name   string
 		m      *topo.Machine
@@ -81,15 +90,34 @@ func Fig3(o Options) []*Figure {
 			XLabel: "level(core=0..system=4)",
 			YLabel: "iter/us",
 		}
-		for _, lockName := range []string{"tkt", "mcs", "clh", "hem", "hem-ctr"} {
+		spec := exp.Spec{
+			Name: f.ID, Platform: pl.name, Workload: "leveldb",
+			Locks: lockNames, Runs: o.Runs, Quick: o.Quick,
+			Notes: "one thread per child cohort inside a single cohort of each level",
+		}
+		var points []exp.Point
+		for _, lockName := range lockNames {
+			for _, lvl := range pl.levels {
+				lockName, lvl, m := lockName, lvl, pl.m
+				points = append(points, exp.Point{
+					Key: fmt.Sprintf("lock=%s/level=%d", lockName, int(lvl)),
+					Run: func(seed uint64) exp.Sample {
+						cfg := o.adjust(workload.LevelDB(m, 0))
+						cfg.CPUs = cohortCPUs(m, lvl)
+						cfg.Seed = seed
+						return measure(basicFactory(lockName), cfg)
+					},
+				})
+			}
+		}
+		results := o.runner().Run(spec, points)
+		i := 0
+		for _, lockName := range lockNames {
 			s := Series{Name: lockName}
 			for _, lvl := range pl.levels {
-				cpus := cohortCPUs(pl.m, lvl)
-				cfg := o.adjust(workload.LevelDB(pl.m, 0))
-				cfg.CPUs = cpus
-				o.progress("fig3 %s: %s at %v (%d threads)", pl.name, lockName, lvl, len(cpus))
 				s.X = append(s.X, int(lvl))
-				s.Y = append(s.Y, medianTput(basicFactory(lockName), cfg, o.Runs))
+				s.Y = append(s.Y, results[i].Throughput())
+				i++
 			}
 			f.Series = append(f.Series, s)
 		}
@@ -101,7 +129,8 @@ func Fig3(o Options) []*Figure {
 
 // CohortScorer returns the paper's footnote-5 pre-selection scorer: a basic
 // lock's score at a level is its Fig. 3 throughput — LevelDB inside a single
-// cohort of that level at maximum contention.
+// cohort of that level at maximum contention. The scorer runs inline (the
+// pre-selection pass is tiny compared to the sweep it prunes).
 func CohortScorer(m *topo.Machine, o Options) clof.LevelScorer {
 	cache := map[string]float64{}
 	return func(typ locks.Type, lvl topo.Level) float64 {
@@ -109,9 +138,18 @@ func CohortScorer(m *topo.Machine, o Options) clof.LevelScorer {
 		if v, ok := cache[key]; ok {
 			return v
 		}
-		cfg := o.adjust(workload.LevelDB(m, 0))
-		cfg.CPUs = cohortCPUs(m, lvl)
-		v := medianTput(func() lockapi.Lock { return typ.New() }, cfg, o.Runs)
+		runs := o.Runs
+		if runs <= 0 {
+			runs = 1
+		}
+		vals := make([]float64, 0, runs)
+		for r := 0; r < runs; r++ {
+			cfg := o.adjust(workload.LevelDB(m, 0))
+			cfg.CPUs = cohortCPUs(m, lvl)
+			cfg.Seed = uint64(r) * 1315423911
+			vals = append(vals, measure(func() lockapi.Lock { return typ.New() }, cfg).Throughput)
+		}
+		v := exp.Median(vals)
 		cache[key] = v
 		return v
 	}
@@ -129,18 +167,14 @@ func Fig4(o Options) *Figure {
 		XLabel: "threads",
 		YLabel: "iter/us",
 	}
-	for _, e := range []struct {
-		name string
-		mk   workload.LockFactory
-	}{
+	entries := []lockEntry{
 		{"clof<4>-arm (" + PaperLC4Arm + ")", clofFactory(p.H4, PaperLC4Arm)},
 		{"hmcs<4>", hmcsFactory(p.H4)},
 		{"mcs", basicFactory("mcs")},
 		{"cna", cnaFactory(p.Machine)},
 		{"shfllock", shflFactory(p.Machine)},
-	} {
-		o.progress("fig4: %s", e.name)
-		f.Series = append(f.Series, curve(e.name, e.mk, cfgFor, grid, o.Runs))
 	}
+	spec := exp.Spec{Name: "fig4", Platform: "armv8", Workload: "leveldb", Runs: comparisonRuns(o)}
+	f.Series = runCurves(o, spec, entries, cfgFor, grid)
 	return f
 }

@@ -16,6 +16,7 @@ import (
 
 	"github.com/clof-go/clof/internal/clof"
 	"github.com/clof-go/clof/internal/cna"
+	"github.com/clof-go/clof/internal/exp"
 	"github.com/clof-go/clof/internal/hmcs"
 	"github.com/clof-go/clof/internal/lockapi"
 	"github.com/clof-go/clof/internal/locks"
@@ -144,6 +145,17 @@ type Options struct {
 	Runs int
 	// Progress, if non-nil, receives one line per completed measurement.
 	Progress func(string)
+	// Jobs is the experiment engine's worker-pool width (the CLIs' -j
+	// flag); <= 0 means GOMAXPROCS. Results are identical at any width.
+	Jobs int
+	// Manifest, when non-nil, collects every grid point as a results.json
+	// record and serves as the resume cache (internal/exp).
+	Manifest *exp.Manifest
+}
+
+// runner builds the engine runner these options describe.
+func (o Options) runner() *exp.Runner {
+	return &exp.Runner{Jobs: o.Jobs, Manifest: o.Manifest, Progress: o.Progress}
 }
 
 func (o Options) progress(format string, args ...any) {
@@ -243,37 +255,66 @@ func shflFactory(m *topo.Machine) workload.LockFactory {
 	return func() lockapi.Lock { return shfllock.New(m) }
 }
 
-// --- measurement helpers ---
+// --- measurement helpers (backed by the experiment engine) ---
 
-// medianTput measures cfg `runs` times with distinct seeds and returns the
-// median throughput.
-func medianTput(mk workload.LockFactory, cfg workload.Config, runs int) float64 {
-	if runs <= 0 {
-		runs = 1
-	}
-	vals := make([]float64, 0, runs)
-	for r := 0; r < runs; r++ {
-		c := cfg
-		c.Seed = cfg.Seed + uint64(r)*1315423911
-		res, err := workload.Run(mk, c)
-		if err != nil {
-			// A deadlocking lock would already have failed its own tests;
-			// report as zero throughput rather than aborting a whole sweep.
-			vals = append(vals, 0)
-			continue
-		}
-		vals = append(vals, res.ThroughputOpsPerUs())
-	}
-	sort.Float64s(vals)
-	return vals[len(vals)/2]
+// lockEntry is one named factory in a sweep.
+type lockEntry struct {
+	name string
+	mk   workload.LockFactory
 }
 
-// curve sweeps thread counts for one lock.
-func curve(name string, mk workload.LockFactory, cfgFor func(threads int) workload.Config, grid []int, runs int) Series {
-	s := Series{Name: name}
-	for _, n := range grid {
-		s.X = append(s.X, n)
-		s.Y = append(s.Y, medianTput(mk, cfgFor(n), runs))
+// measure executes one workload run and converts it to an engine sample. A
+// deadlocking lock would already have failed its own tests; report it as
+// zero throughput rather than aborting a whole sweep.
+func measure(mk workload.LockFactory, cfg workload.Config) exp.Sample {
+	res, err := workload.Run(mk, cfg)
+	if err != nil {
+		return exp.Sample{Err: err.Error()}
 	}
-	return s
+	return exp.Sample{Throughput: res.ThroughputOpsPerUs(), Jain: res.Jain(), Total: res.Total}
+}
+
+// curvePoint builds the engine job for one (lock, threads) grid point.
+func curvePoint(name string, mk workload.LockFactory, cfgFor func(threads int) workload.Config, threads int) exp.Point {
+	return exp.Point{
+		Key: fmt.Sprintf("lock=%s/threads=%d", name, threads),
+		Run: func(seed uint64) exp.Sample {
+			cfg := cfgFor(threads)
+			cfg.Seed = seed
+			return measure(mk, cfg)
+		},
+	}
+}
+
+// runCurves measures entries×grid as one engine spec — every point is an
+// independent job on the worker pool — and returns one Series per entry, in
+// entry order. The assembled series depend only on the spec (seeds are
+// hash-derived per point), never on Options.Jobs.
+func runCurves(o Options, spec exp.Spec, entries []lockEntry, cfgFor func(threads int) workload.Config, grid []int) []Series {
+	spec.Threads = grid
+	for _, e := range entries {
+		spec.Locks = append(spec.Locks, e.name)
+	}
+	spec.Quick = o.Quick
+	if spec.Runs == 0 {
+		spec.Runs = o.Runs
+	}
+	points := make([]exp.Point, 0, len(entries)*len(grid))
+	for _, e := range entries {
+		for _, n := range grid {
+			points = append(points, curvePoint(e.name, e.mk, cfgFor, n))
+		}
+	}
+	results := o.runner().Run(spec, points)
+	series := make([]Series, len(entries))
+	i := 0
+	for ei, e := range entries {
+		series[ei].Name = e.name
+		for _, n := range grid {
+			series[ei].X = append(series[ei].X, n)
+			series[ei].Y = append(series[ei].Y, results[i].Throughput())
+			i++
+		}
+	}
+	return series
 }

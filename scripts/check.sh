@@ -11,6 +11,8 @@
 #      exhaustive searches without checking anything new)
 #   6. clof-chaos smoke run, twice, byte-compared — the determinism
 #      guarantee the robustness report rests on
+#   7. make figures-quick       (experiment engine smoke: a small figure
+#      set on the parallel runner, CSVs + results.json into figures-out/)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,5 +42,8 @@ go run ./cmd/clof-chaos "${smoke[@]}" -out "$tmp/a.csv"
 go run ./cmd/clof-chaos "${smoke[@]}" -out "$tmp/b.csv"
 cmp "$tmp/a.csv" "$tmp/b.csv"
 echo "chaos smoke: byte-identical across reruns"
+
+echo "== figures-quick (experiment engine smoke)"
+make figures-quick
 
 echo "check: OK"
