@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint check chaos figures figures-quick
+.PHONY: build test lint check chaos figures figures-quick bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -31,3 +31,17 @@ figures:
 # a build artifact.
 figures-quick:
 	$(GO) run ./cmd/clof-figures -exp fig2,fig4,fairness -quick -j 0 -out figures-out/quick
+
+# Simulator throughput baseline: runs the canonical memsim scenarios
+# (~300ms each) and records host-side simops/s into BENCH_baseline.json.
+# Regenerate and commit after execution-core changes; see EXPERIMENTS.md
+# "Profiling the simulator".
+bench:
+	CLOF_BENCH_OUT=$(CURDIR)/BENCH_baseline.json $(GO) test ./internal/memsim -run TestWriteBenchArtifact -count=1 -v
+	$(GO) test ./internal/memsim ./internal/eventq -run XXX -bench 'BenchmarkMachine|BenchmarkQueue' -benchtime 200ms
+
+# CI smoke: every benchmark executes once (so it cannot silently rot) and a
+# quick BENCH_smoke.json artifact is produced for the workflow to upload.
+bench-smoke:
+	CLOF_BENCH_OUT=$(CURDIR)/BENCH_smoke.json CLOF_BENCH_QUICK=1 $(GO) test ./internal/memsim -run TestWriteBenchArtifact -count=1 -v
+	$(GO) test ./internal/memsim ./internal/eventq -run XXX -bench 'BenchmarkMachine|BenchmarkQueue' -benchtime 1x

@@ -28,6 +28,7 @@ import (
 	"github.com/clof-go/clof/internal/figures"
 	"github.com/clof-go/clof/internal/lockapi"
 	"github.com/clof-go/clof/internal/locks"
+	"github.com/clof-go/clof/internal/prof"
 	"github.com/clof-go/clof/internal/topo"
 	"github.com/clof-go/clof/internal/workload"
 )
@@ -43,7 +44,15 @@ func main() {
 	outFile := flag.String("out", "", "optional results.json artifact path")
 	preselect := flag.Int("preselect", 0, "keep only the K best basic locks per level before the sweep (footnote 5; 0 = full N^M)")
 	verbose := flag.Bool("v", false, "print every composition's scores")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	var h *topo.Hierarchy
 	switch {
@@ -191,7 +200,9 @@ func main() {
 		if err := manifest.Save(); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("\nwrote %s (%d points)\n", manifest.Path(), manifest.Len())
+		sum := manifest.Summary()
+		fmt.Printf("\nwrote %s (%d points, %.0f ms measuring, %.0f iters/sec)\n",
+			manifest.Path(), sum.Points, sum.WallMSTotal, sum.ItersPerSec)
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 
 	"github.com/clof-go/clof/internal/exp"
 	"github.com/clof-go/clof/internal/figures"
+	"github.com/clof-go/clof/internal/prof"
 )
 
 // expCtx is what one experiment's runner gets to work with.
@@ -154,7 +155,15 @@ func main() {
 	jobs := flag.Int("j", 0, "parallel grid points (0 = GOMAXPROCS); output is identical at any level")
 	resume := flag.Bool("resume", false, "reuse points already recorded in <out>/results.json")
 	quiet := flag.Bool("q", false, "suppress progress output")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	if *list {
 		for _, id := range knownIDs() {
@@ -209,7 +218,9 @@ func main() {
 	if err := manifest.Save(); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %s (%d points)\n", manifestPath, manifest.Len())
+	sum := manifest.Summary()
+	fmt.Printf("wrote %s (%d points, %.0f ms measuring, %.0f iters/sec)\n",
+		manifestPath, sum.Points, sum.WallMSTotal, sum.ItersPerSec)
 }
 
 func fatal(err error) {

@@ -1,14 +1,34 @@
 // Package eventq implements the time-ordered event queue at the heart of the
-// discrete-event simulator: a binary min-heap ordered by (time, sequence).
-// The sequence number makes the pop order total and therefore the whole
-// simulation deterministic even when events share a timestamp.
+// discrete-event simulator: a cached-min 4-ary min-heap ordered by
+// (time, sequence). The sequence number makes the pop order total and
+// therefore the whole simulation deterministic even when events share a
+// timestamp.
+//
+// Two properties matter for the simulator's run-ahead fast path
+// (internal/memsim): MinTime is a single field read, because the running
+// virtual CPU consults it after *every* simulated operation to decide
+// whether it may keep executing inline; and the heap is 4-ary, because the
+// shallower tree halves the pointer-chasing of the slow path's Push/Pop
+// cycle relative to a binary heap.
 package eventq
+
+// shrinkFloor is the smallest backing-array capacity Pop will shrink to.
+// Steady-state queues (one entry per virtual CPU) never reach it, so the
+// shrink path costs nothing on the hot loop; only sweeps that ballooned the
+// queue (chaos wake storms) pay a copy on the way back down.
+const shrinkFloor = 1024
 
 // Queue is a deterministic min-priority queue of values with int64
 // timestamps. The zero value is an empty, ready-to-use queue.
+//
+// The minimum entry is cached outside the heap in head: Min and MinTime
+// never touch the backing array, and a Push that supersedes the current
+// minimum swaps with the cache instead of sifting the whole tree.
 type Queue[T any] struct {
-	items []entry[T]
-	seq   uint64
+	head    entry[T]
+	hasHead bool
+	items   []entry[T] // 4-ary heap of everything except head
+	seq     uint64
 }
 
 type entry[T any] struct {
@@ -17,35 +37,107 @@ type entry[T any] struct {
 	val  T
 }
 
+func (e entry[T]) before(o entry[T]) bool {
+	if e.time != o.time {
+		return e.time < o.time
+	}
+	return e.seq < o.seq
+}
+
 // Len returns the number of queued events.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int {
+	n := len(q.items)
+	if q.hasHead {
+		n++
+	}
+	return n
+}
 
 // Push enqueues val at the given virtual time. Events with equal times pop
 // in Push order.
 func (q *Queue[T]) Push(time int64, val T) {
 	q.seq++
-	q.items = append(q.items, entry[T]{time: time, seq: q.seq, val: val})
-	q.up(len(q.items) - 1)
+	e := entry[T]{time: time, seq: q.seq, val: val}
+	if !q.hasHead {
+		q.head = e
+		q.hasHead = true
+		return
+	}
+	if e.before(q.head) {
+		e, q.head = q.head, e
+	}
+	q.heapPush(e)
 }
 
 // Min returns the earliest event's time and value without removing it.
 // The boolean is false if the queue is empty.
 func (q *Queue[T]) Min() (int64, T, bool) {
-	if len(q.items) == 0 {
+	if !q.hasHead {
 		var zero T
 		return 0, zero, false
 	}
-	e := q.items[0]
-	return e.time, e.val, true
+	return q.head.time, q.head.val, true
+}
+
+// MinTime returns the earliest event's time, or ok=false when empty. It is
+// the simulator fast path's per-operation check and compiles to a pair of
+// field reads.
+func (q *Queue[T]) MinTime() (int64, bool) {
+	return q.head.time, q.hasHead
 }
 
 // Pop removes and returns the earliest event. The boolean is false if the
 // queue is empty.
 func (q *Queue[T]) Pop() (int64, T, bool) {
-	if len(q.items) == 0 {
+	if !q.hasHead {
 		var zero T
 		return 0, zero, false
 	}
+	top := q.head
+	if len(q.items) > 0 {
+		q.head = q.heapPop()
+	} else {
+		q.hasHead = false
+		var zero entry[T]
+		q.head = zero
+	}
+	return top.time, top.val, true
+}
+
+// PushPop is Push(time, val) immediately followed by Pop, avoiding the
+// double sift when one would undo the other. The scheduler's grant loop is
+// exactly this shape: requeue the thread that just ran, hand the turn to
+// whichever thread is now earliest.
+func (q *Queue[T]) PushPop(time int64, val T) (int64, T) {
+	q.seq++
+	e := entry[T]{time: time, seq: q.seq, val: val}
+	if !q.hasHead || e.before(q.head) {
+		// The new event is the earliest (or the queue was empty): it pops
+		// right back out and the heap is never touched.
+		return e.time, e.val
+	}
+	top := q.head
+	if len(q.items) == 0 || e.before(q.items[0]) {
+		q.head = e
+	} else {
+		q.head = q.items[0]
+		q.items[0] = e
+		q.down(0)
+	}
+	return top.time, top.val
+}
+
+// heapPush inserts e into the 4-ary heap (not the head cache).
+func (q *Queue[T]) heapPush(e entry[T]) {
+	q.items = append(q.items, e)
+	q.up(len(q.items) - 1)
+}
+
+// heapPop removes the heap's minimum (the queue's second-earliest event).
+// When the backing array is large and three-quarters empty it is reallocated
+// at half size, so one chaotic wake storm does not pin its high-water-mark
+// allocation for the rest of a sweep.
+func (q *Queue[T]) heapPop() entry[T] {
 	top := q.items[0]
 	last := len(q.items) - 1
 	q.items[0] = q.items[last]
@@ -55,21 +147,18 @@ func (q *Queue[T]) Pop() (int64, T, bool) {
 	if len(q.items) > 0 {
 		q.down(0)
 	}
-	return top.time, top.val, true
-}
-
-func (q *Queue[T]) less(i, j int) bool {
-	a, b := q.items[i], q.items[j]
-	if a.time != b.time {
-		return a.time < b.time
+	if c := cap(q.items); c > shrinkFloor && len(q.items) < c/4 {
+		shrunk := make([]entry[T], len(q.items), c/2)
+		copy(shrunk, q.items)
+		q.items = shrunk
 	}
-	return a.seq < b.seq
+	return top
 }
 
 func (q *Queue[T]) up(i int) {
 	for i > 0 {
-		parent := (i - 1) / 2
-		if !q.less(i, parent) {
+		parent := (i - 1) / 4
+		if !q.items[i].before(q.items[parent]) {
 			return
 		}
 		q.items[i], q.items[parent] = q.items[parent], q.items[i]
@@ -80,13 +169,19 @@ func (q *Queue[T]) up(i int) {
 func (q *Queue[T]) down(i int) {
 	n := len(q.items)
 	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < n && q.less(l, smallest) {
-			smallest = l
+		first := 4*i + 1
+		if first >= n {
+			return
 		}
-		if r < n && q.less(r, smallest) {
-			smallest = r
+		smallest := i
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first; c < last; c++ {
+			if q.items[c].before(q.items[smallest]) {
+				smallest = c
+			}
 		}
 		if smallest == i {
 			return

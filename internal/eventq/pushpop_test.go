@@ -1,0 +1,139 @@
+package eventq
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// refQueue drives a Queue only through Push/Pop, as the pre-PushPop
+// scheduler did; used as the semantic reference for PushPop.
+func popAll[T any](q *Queue[T]) []entry[T] {
+	var out []entry[T]
+	for {
+		tm, v, ok := q.Pop()
+		if !ok {
+			return out
+		}
+		out = append(out, entry[T]{time: tm, val: v})
+	}
+}
+
+// TestPushPopEquivalence: PushPop must be indistinguishable from Push
+// immediately followed by Pop, for any prior queue contents — the
+// determinism of the simulator's grant order rests on this.
+func TestPushPopEquivalence(t *testing.T) {
+	f := func(pre []int64, x int64) bool {
+		var a, b Queue[int64]
+		for i, tm := range pre {
+			a.Push(tm, int64(i))
+			b.Push(tm, int64(i))
+		}
+		at, av := a.PushPop(x, -1)
+		b.Push(x, -1)
+		bt, bv, ok := b.Pop()
+		if !ok || at != bt || av != bv {
+			return false
+		}
+		ra, rb := popAll(&a), popAll(&b)
+		if len(ra) != len(rb) {
+			return false
+		}
+		for i := range ra {
+			if ra[i].time != rb[i].time || ra[i].val != rb[i].val {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPushPopEmpty: on an empty queue PushPop returns its own argument and
+// leaves the queue empty.
+func TestPushPopEmpty(t *testing.T) {
+	var q Queue[string]
+	tm, v := q.PushPop(7, "x")
+	if tm != 7 || v != "x" {
+		t.Fatalf("PushPop on empty = (%d,%q)", tm, v)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not empty after PushPop, len=%d", q.Len())
+	}
+}
+
+// TestPushPopTieBreak: an equal-time PushPop yields the OLDER entry (FIFO
+// within a timestamp), exactly like Push+Pop.
+func TestPushPopTieBreak(t *testing.T) {
+	var q Queue[int]
+	q.Push(5, 1)
+	_, v := q.PushPop(5, 2)
+	if v != 1 {
+		t.Fatalf("tie PushPop returned %d, want the earlier-pushed 1", v)
+	}
+	if _, v, _ := q.Pop(); v != 2 {
+		t.Fatalf("remaining entry = %d, want 2", v)
+	}
+}
+
+// TestMinTimeMatchesMin across a mixed op sequence.
+func TestMinTimeMatchesMin(t *testing.T) {
+	var q Queue[int]
+	if _, ok := q.MinTime(); ok {
+		t.Fatal("MinTime ok on empty queue")
+	}
+	for i := 0; i < 200; i++ {
+		q.Push(int64((i*37)%50), i)
+		if i%3 == 0 {
+			q.Pop()
+		}
+		mt, mv, mok := q.Min()
+		tt, tok := q.MinTime()
+		if mok != tok || (mok && mt != tt) {
+			t.Fatalf("MinTime (%d,%v) disagrees with Min (%d,%d,%v)", tt, tok, mt, mv, mok)
+		}
+	}
+}
+
+// TestPopShrinksCapacity: after a wake storm drains, the backing array must
+// be given back instead of pinning its high-water mark.
+func TestPopShrinksCapacity(t *testing.T) {
+	var q Queue[int]
+	const n = 1 << 16
+	for i := 0; i < n; i++ {
+		q.Push(int64(i), i)
+	}
+	grown := cap(q.items)
+	for i := 0; i < n-64; i++ {
+		if _, v, ok := q.Pop(); !ok || v != i {
+			t.Fatalf("pop %d = (%d,%v)", i, v, ok)
+		}
+	}
+	if c := cap(q.items); c >= grown/4 {
+		t.Errorf("capacity %d retained after draining to 64 entries (grew to %d)", c, grown)
+	}
+	// Drain the rest; order must survive the shrinks.
+	for i := n - 64; i < n; i++ {
+		if _, v, ok := q.Pop(); !ok || v != i {
+			t.Fatalf("post-shrink pop %d = (%d,%v)", i, v, ok)
+		}
+	}
+}
+
+// TestSmallQueueNeverShrinks: simulator-sized queues (a few dozen entries)
+// must never pay a shrink reallocation in steady state.
+func TestSmallQueueNeverShrinks(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 128; i++ {
+		q.Push(int64(i), i)
+	}
+	c0 := cap(q.items)
+	for i := 0; i < 10000; i++ {
+		tm, v, _ := q.Pop()
+		q.Push(tm+1000, v)
+	}
+	if cap(q.items) != c0 {
+		t.Errorf("steady-state capacity changed: %d -> %d", c0, cap(q.items))
+	}
+}

@@ -26,8 +26,58 @@ type Manifest struct {
 // manifestFile is the on-disk schema of results.json.
 type manifestFile struct {
 	Version int      `json:"version"`
+	Summary Summary  `json:"summary"`
 	Specs   []Spec   `json:"specs"`
 	Results []Result `json:"results"`
+}
+
+// Summary aggregates a manifest's host-side cost: how many points were
+// measured, how long the measuring took, and the resulting measurement rate.
+// Like Result.WallMS it is nondeterministic provenance — nothing derived
+// from a manifest may depend on it. Cached (resumed) points contribute their
+// counts but not wall time or rate, since their cost was paid by an earlier
+// run.
+type Summary struct {
+	// Points / CachedPoints count all recorded results and the subset that
+	// was served from the resume cache.
+	Points       int `json:"points"`
+	CachedPoints int `json:"cached_points,omitempty"`
+	// Errors counts failed runs across all points.
+	Errors int `json:"errors,omitempty"`
+	// WallMSTotal is the summed host wall time of all freshly measured
+	// points. Workers run in parallel, so this is CPU-ish time, not elapsed.
+	WallMSTotal float64 `json:"wall_ms_total"`
+	// TotalIters sums the median completed-iteration counts of fresh points.
+	TotalIters uint64 `json:"total_iters"`
+	// ItersPerSec is TotalIters per wall second of measurement — the
+	// throughput of the simulator itself, the number the memsim fast-path
+	// work moves.
+	ItersPerSec float64 `json:"iters_per_sec"`
+}
+
+// Summary computes the aggregate over the currently recorded results.
+func (m *Manifest) Summary() Summary {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return summarize(m.results)
+}
+
+func summarize(results []Result) Summary {
+	var s Summary
+	for _, r := range results {
+		s.Points++
+		s.Errors += len(r.Errors)
+		if r.Cached {
+			s.CachedPoints++
+			continue
+		}
+		s.WallMSTotal += r.WallMS
+		s.TotalIters += r.Total
+	}
+	if s.WallMSTotal > 0 {
+		s.ItersPerSec = float64(s.TotalIters) / (s.WallMSTotal / 1e3)
+	}
+	return s
 }
 
 // NewManifest returns an empty manifest that Save writes to path.
@@ -128,7 +178,7 @@ func (m *Manifest) Results() []Result {
 // a sibling temp file.
 func (m *Manifest) Save() error {
 	m.mu.Lock()
-	f := manifestFile{Version: SchemaVersion, Specs: m.specs, Results: m.results}
+	f := manifestFile{Version: SchemaVersion, Summary: summarize(m.results), Specs: m.specs, Results: m.results}
 	path := m.path
 	m.mu.Unlock()
 	if path == "" {

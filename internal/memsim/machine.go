@@ -14,8 +14,32 @@
 // a given seed.
 //
 // Virtual CPUs are goroutines in a strict turn-taking protocol with the
-// scheduler: at any instant at most one simulated operation executes, so the
-// machine state needs no locking and the simulation is deterministic.
+// scheduler: at any instant at most one simulated operation executes, so
+// the machine state needs no locking and the simulation is deterministic.
+//
+// # Execution core: the run-ahead fast path
+//
+// The turn-taking protocol alone would cost two channel handoffs (four
+// goroutine context switches on one OS thread) per simulated memory
+// operation. The execution core avoids almost all of them: after charging
+// an operation, the running virtual CPU checks the event queue's cached
+// minimum inline, and if it is still strictly the globally earliest thread
+// — and inside the horizon — it simply keeps executing, advancing the
+// machine clock itself. Spin loops and uncontended critical sections, the
+// dominant operation streams of every lock benchmark, therefore run
+// handoff-free. When a thread does lose eligibility (or parks), it hands
+// the turn directly to the next-earliest thread with a single channel send
+// (Proc.handoff) instead of detouring through the scheduler goroutine,
+// which is left only termination, deadlock and thread-exit duty.
+//
+// The fast path is semantically invisible. A thread may run ahead only
+// under exactly the condition that would make the scheduler re-grant it the
+// very next event (queue empty, or its time strictly below the queue
+// minimum — ties go to the queued entry, which was pushed earlier and holds
+// the smaller sequence number), so the (time, seq) grant order — and with
+// it every simulated result, including Result.Events — is bit-identical to
+// the scheduler-only protocol. Config.DisableRunAhead forces the old
+// protocol for benchmarks and equivalence tests.
 package memsim
 
 import (
@@ -112,6 +136,11 @@ type Config struct {
 	// Trace, when non-nil, receives one event per memory operation (after
 	// its effects commit). For debugging lock protocols; adds overhead.
 	Trace func(ev TraceEvent)
+	// DisableRunAhead routes every operation through the scheduler channel
+	// handoff (the pre-fast-path protocol). Results are bit-identical
+	// either way; the flag exists for benchmarks quantifying the run-ahead
+	// fast path and for the equivalence tests that prove the claim.
+	DisableRunAhead bool
 }
 
 // TraceEvent describes one committed simulated memory operation.
@@ -132,14 +161,50 @@ type TraceEvent struct {
 	Cost int64
 }
 
-// line is the coherence state of one simulated cache line (one Cell).
+// cpuSet is a fixed-size CPU bitset with a cached population count. It
+// replaces the per-line sharer map: add/has/reset are branch-cheap and
+// allocation-free, which the zero-allocs-per-op guarantee depends on.
+type cpuSet struct {
+	bits []uint64
+	n    int
+}
+
+func (s *cpuSet) init(ncpu int) { s.bits = make([]uint64, (ncpu+63)/64) }
+
+func (s *cpuSet) add(cpu int) {
+	w, b := cpu>>6, uint64(1)<<uint(cpu&63)
+	if s.bits[w]&b == 0 {
+		s.bits[w] |= b
+		s.n++
+	}
+}
+
+func (s *cpuSet) has(cpu int) bool {
+	return s.bits[cpu>>6]&(uint64(1)<<uint(cpu&63)) != 0
+}
+
+func (s *cpuSet) reset() {
+	if s.n == 0 {
+		return
+	}
+	clear(s.bits)
+	s.n = 0
+}
+
+func (s *cpuSet) count() int { return s.n }
+
+// line is the coherence state of one simulated cache line (one Cell or one
+// Colocate group).
 type line struct {
+	// id is the dense line index assigned at creation; per-thread private
+	// state lives in a slice indexed by it (Proc.pls).
+	id int
 	// version counts modifications; used for cached-copy validity.
 	version uint64
 	// owner is the CPU of the last writer, or -1.
 	owner int
 	// sharers holds CPUs with a shared copy since the last write.
-	sharers map[int]struct{}
+	sharers cpuSet
 	// watchers are procs parked until this line changes.
 	watchers []*Proc
 	// stormers counts threads currently in an RMW spin loop on this line
@@ -159,7 +224,10 @@ const (
 type Result struct {
 	// Now is the virtual time at which the run stopped.
 	Now int64
-	// Events is the number of scheduler events processed.
+	// Events is the number of simulation events granted: one per simulated
+	// operation slot, whether the grant went through the scheduler channel
+	// or the run-ahead fast path. The count is bit-identical under both
+	// protocols (and to the pre-fast-path simulator).
 	Events uint64
 	// Deadlock reports that the event queue drained with threads still
 	// parked before the horizon was reached.
@@ -171,21 +239,35 @@ type Result struct {
 // Machine is a simulated multi-level NUMA machine. Create with New, add
 // virtual CPUs with Spawn, then call Run exactly once.
 type Machine struct {
-	topo    *topo.Machine
-	lat     Latency
-	arch    topo.Arch
-	rng     *xrand.Rand
-	jitter  int64
-	speeds  []float64
-	trace   func(ev TraceEvent)
-	lines   map[any]*line
-	q       eventq.Queue[*Proc]
-	yield   chan struct{}
-	threads []*Proc
-	horizon int64
-	now     int64
-	events  uint64
-	started bool
+	topo   *topo.Machine
+	lat    Latency
+	arch   topo.Arch
+	ncpu   int
+	rng    *xrand.Rand
+	jitter int64
+	speeds []float64
+	trace  func(ev TraceEvent)
+	// lines resolves a Cell's LineKey (the Colocate tag or the cell
+	// itself) to coherence state; cellLine is the pointer-keyed cache in
+	// front of it, so the steady-state per-op lookup hashes a *Cell
+	// directly instead of an interface key.
+	lines    map[any]*line
+	cellLine map[*lockapi.Cell]*line
+	lineSeq  int
+	q        eventq.Queue[*Proc]
+	yield    chan struct{}
+	threads  []*Proc
+	horizon  int64
+	now      int64
+	events   uint64
+	started  bool
+	noRA     bool
+	// horizonHit is set by a thread whose direct handoff (Proc.handoff)
+	// found the next event past the horizon; the scheduler finalizes.
+	horizonHit bool
+	// panicked is the thread whose workload function panicked; set by the
+	// thread wrapper before its final yield so the scheduler can propagate.
+	panicked *Proc
 }
 
 // New builds a machine from cfg. It panics on an invalid topology, since
@@ -205,15 +287,18 @@ func New(cfg Config) *Machine {
 		panic(fmt.Sprintf("memsim: CPUSpeed has %d entries for %d CPUs", len(cfg.CPUSpeed), cfg.Machine.NumCPUs()))
 	}
 	return &Machine{
-		topo:   cfg.Machine,
-		lat:    lat,
-		arch:   cfg.Machine.Arch,
-		rng:    xrand.New(cfg.Seed ^ 0xC10F),
-		jitter: cfg.JitterNS,
-		speeds: cfg.CPUSpeed,
-		trace:  cfg.Trace,
-		lines:  make(map[any]*line),
-		yield:  make(chan struct{}),
+		topo:     cfg.Machine,
+		lat:      lat,
+		arch:     cfg.Machine.Arch,
+		ncpu:     cfg.Machine.NumCPUs(),
+		rng:      xrand.New(cfg.Seed ^ 0xC10F),
+		jitter:   cfg.JitterNS,
+		speeds:   cfg.CPUSpeed,
+		trace:    cfg.Trace,
+		lines:    make(map[any]*line),
+		cellLine: make(map[*lockapi.Cell]*line),
+		yield:    make(chan struct{}),
+		noRA:     cfg.DisableRunAhead,
 	}
 }
 
@@ -240,7 +325,6 @@ func (m *Machine) Spawn(cpu int, fn func(p *Proc)) *Proc {
 		m:      m,
 		cpu:    cpu,
 		resume: make(chan struct{}),
-		lines:  make(map[*line]*plstate),
 		rng:    m.rng.Split(),
 	}
 	m.threads = append(m.threads, p)
@@ -253,6 +337,14 @@ func (m *Machine) Spawn(cpu int, fn func(p *Proc)) *Proc {
 // exceeds horizon (horizon 0 means "no horizon": run to completion). It
 // returns statistics; Deadlock is set if every remaining thread is parked
 // with no pending event before the horizon.
+//
+// The scheduler loop below is mostly idle: fast-path operations advance
+// m.now and m.events inline from the running thread (Proc.yieldAt), and
+// slow-path grants hand off thread-to-thread (Proc.handoff) without waking
+// the scheduler. The loop only runs to start threads, to re-grant after a
+// thread exits, and to finalize on horizon overrun, queue exhaustion, or a
+// workload panic. (With Config.DisableRunAhead both shortcuts are off and
+// every grant flows through this loop, as in the original protocol.)
 func (m *Machine) Run(horizon int64) Result {
 	if m.started {
 		panic("memsim: Run called twice")
@@ -275,9 +367,13 @@ func (m *Machine) Run(horizon int64) Result {
 		m.events++
 		p.resume <- struct{}{}
 		<-m.yield
-		if p.panicVal != nil {
+		if m.panicked != nil {
 			m.shutdown()
-			panic(p.panicVal)
+			panic(m.panicked.panicVal)
+		}
+		if m.horizonHit {
+			horizonHit = true
+			break
 		}
 	}
 
@@ -309,13 +405,22 @@ func (m *Machine) shutdown() {
 }
 
 // lineOf returns (creating on demand) the coherence state for a cell's
-// cache line (colocated cells share one line, see lockapi.Colocate).
+// cache line (colocated cells share one line, see lockapi.Colocate). The
+// per-cell pointer cache makes the steady-state lookup a single
+// pointer-keyed map access; the interface-keyed map is only consulted the
+// first time each cell is touched.
 func (m *Machine) lineOf(c *lockapi.Cell) *line {
+	if ln, ok := m.cellLine[c]; ok {
+		return ln
+	}
 	key := c.LineKey()
 	ln := m.lines[key]
 	if ln == nil {
-		ln = &line{owner: -1, sharers: make(map[int]struct{}, 4)}
+		ln = &line{id: m.lineSeq, owner: -1}
+		ln.sharers.init(m.ncpu)
+		m.lineSeq++
 		m.lines[key] = ln
 	}
+	m.cellLine[c] = ln
 	return ln
 }

@@ -1,0 +1,221 @@
+package memsim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"github.com/clof-go/clof/internal/lockapi"
+	"github.com/clof-go/clof/internal/locks"
+	"github.com/clof-go/clof/internal/topo"
+)
+
+// lockRun executes one contended-lock simulation and returns everything
+// observable about it: the machine Result, a hash of the full trace stream,
+// per-thread op/park/spin counters, and the final shared-cell value. It is
+// the probe used to prove the run-ahead fast path is semantically invisible.
+func lockRun(mach *topo.Machine, mk func() lockapi.Lock, n int, dur int64, cfg Config) (Result, uint64, string, uint64) {
+	h := fnv.New64a()
+	cfg.Machine = mach
+	cfg.Trace = func(ev TraceEvent) {
+		fmt.Fprintf(h, "%d/%d/%s/%d/%d;", ev.Time, ev.CPU, ev.Op, ev.Value, ev.Cost)
+	}
+	m := New(cfg)
+	l := mk()
+	var shared lockapi.Cell
+	var total uint64
+	stats := ""
+	procs := make([]*Proc, n)
+	step := mach.NumCPUs() / n
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		ctx := l.NewCtx()
+		procs[i] = m.Spawn((i*step)%mach.NumCPUs(), func(p *Proc) {
+			for !p.Expired() {
+				l.Acquire(p, ctx)
+				p.Add(&shared, 1, lockapi.Relaxed)
+				p.Work(50)
+				l.Release(p, ctx)
+				p.Work(200)
+				total++
+				// A sprinkle of preemption keeps the slow path's
+				// park/preempt interactions in the compared schedule.
+				if total%97 == 0 {
+					p.Preempt(500)
+				}
+			}
+		})
+	}
+	res := m.Run(dur)
+	for _, p := range procs {
+		stats += fmt.Sprintf("[ops=%d parks=%d spins=%d preempts=%d t=%d]", p.Ops, p.Parks, p.Spins, p.Preempts, p.time)
+	}
+	return res, h.Sum64(), stats, total
+}
+
+// TestRunAheadEquivalence proves the fast path's core claim: with
+// DisableRunAhead toggled, every observable of the simulation — final time,
+// event count, the complete (time, cpu, op, value, cost) trace stream,
+// per-thread counters — is bit-identical. Jitter is on so the RNG draw
+// order is part of what is being compared.
+func TestRunAheadEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mach *topo.Machine
+		lock string
+	}{
+		{"mcs/x86", topo.X86Server(), "mcs"},
+		{"tkt/x86", topo.X86Server(), "tkt"},
+		{"hem-ctr/armv8", topo.Armv8Server(), "hem-ctr"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			base := Config{Seed: 42, JitterNS: 3}
+			fast := base
+			slow := base
+			slow.DisableRunAhead = true
+			fr, fh, fs, ft := lockRun(tc.mach, locks.MustType(tc.lock).New, 8, 150_000, fast)
+			sr, sh, ss, st := lockRun(tc.mach, locks.MustType(tc.lock).New, 8, 150_000, slow)
+			if fmt.Sprintf("%+v", fr) != fmt.Sprintf("%+v", sr) {
+				t.Errorf("Result differs: fast %+v, scheduler-only %+v", fr, sr)
+			}
+			if fh != sh {
+				t.Errorf("trace stream differs: fast %x, scheduler-only %x", fh, sh)
+			}
+			if fs != ss {
+				t.Errorf("proc stats differ:\nfast: %s\nslow: %s", fs, ss)
+			}
+			if ft != st {
+				t.Errorf("acquire totals differ: fast %d, scheduler-only %d", ft, st)
+			}
+		})
+	}
+}
+
+// pingPongOps runs the two-thread ping-pong workload (spin, park, wake,
+// RMW — the simulator's steady-state shape) with tracing and jitter off,
+// and reports the number of simulated operations executed.
+func pingPongOps(horizon int64) uint64 {
+	m := New(Config{Machine: topo.X86Server()})
+	var counter lockapi.Cell
+	turn := func(p *Proc, parity uint64) {
+		for !p.Expired() {
+			for p.Load(&counter, lockapi.Acquire)%2 != parity {
+				p.Spin()
+				if p.Expired() {
+					return
+				}
+			}
+			p.Add(&counter, 1, lockapi.AcqRel)
+		}
+	}
+	pa := m.Spawn(0, func(p *Proc) { turn(p, 0) })
+	pb := m.Spawn(5, func(p *Proc) { turn(p, 1) })
+	m.Run(horizon)
+	return pa.Ops + pb.Ops
+}
+
+// TestNoTraceZeroAllocs enforces the zero-allocations-per-operation
+// guarantee: in no-trace, no-jitter steady state, running 10x longer must
+// not allocate more. All per-run setup (machine, lines, goroutines, slice
+// growth to steady state) cancels out in the subtraction, so any residue
+// would be a per-operation allocation on the hot path.
+func TestNoTraceZeroAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement in -short mode")
+	}
+	var opsShort, opsLong uint64
+	allocShort := testing.AllocsPerRun(5, func() { opsShort = pingPongOps(100_000) })
+	allocLong := testing.AllocsPerRun(5, func() { opsLong = pingPongOps(1_000_000) })
+	extraOps := opsLong - opsShort
+	if extraOps == 0 {
+		t.Fatal("horizon change produced no extra ops; test is vacuous")
+	}
+	// Tolerate a few stray allocations (runtime bookkeeping noise), but a
+	// per-op allocation would show up as thousands here.
+	if delta := allocLong - allocShort; delta > 8 {
+		t.Errorf("hot path allocates: %.0f extra allocs over %d extra ops (%.4f/op)",
+			delta, extraOps, delta/float64(extraOps))
+	}
+}
+
+// The BenchmarkMachine suite measures the simulator's real-time throughput
+// (reported as simulated memory operations per wall-clock second) on its two
+// dominant shapes. The *SchedulerOnly variants disable the run-ahead fast
+// path, so the pair quantifies exactly what the fast path buys.
+
+func benchLock(b *testing.B, mach *topo.Machine, lockName string, n int, disableRA bool) {
+	b.ReportAllocs()
+	var ops uint64
+	for i := 0; i < b.N; i++ {
+		m := New(Config{Machine: mach, DisableRunAhead: disableRA})
+		l := locks.MustType(lockName).New()
+		var shared lockapi.Cell
+		step := mach.NumCPUs() / n
+		if step == 0 {
+			step = 1
+		}
+		procs := make([]*Proc, n)
+		for j := 0; j < n; j++ {
+			ctx := l.NewCtx()
+			procs[j] = m.Spawn((j*step)%mach.NumCPUs(), func(p *Proc) {
+				for !p.Expired() {
+					l.Acquire(p, ctx)
+					p.Add(&shared, 1, lockapi.Relaxed)
+					p.Work(50)
+					l.Release(p, ctx)
+					p.Work(200)
+				}
+			})
+		}
+		m.Run(300_000)
+		for _, p := range procs {
+			ops += p.Ops
+		}
+	}
+	b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "simops/s")
+}
+
+func BenchmarkMachineMCS8(b *testing.B)  { benchLock(b, topo.X86Server(), "mcs", 8, false) }
+func BenchmarkMachineTkt8(b *testing.B)  { benchLock(b, topo.X86Server(), "tkt", 8, false) }
+func BenchmarkMachineMCS32(b *testing.B) { benchLock(b, topo.X86Server(), "mcs", 32, false) }
+
+func BenchmarkMachineMCS8SchedulerOnly(b *testing.B) {
+	benchLock(b, topo.X86Server(), "mcs", 8, true)
+}
+
+func BenchmarkMachinePingPong(b *testing.B) {
+	b.ReportAllocs()
+	var ops uint64
+	for i := 0; i < b.N; i++ {
+		ops += pingPongOps(300_000)
+	}
+	b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "simops/s")
+}
+
+func BenchmarkMachinePingPongSchedulerOnly(b *testing.B) {
+	b.ReportAllocs()
+	var ops uint64
+	for i := 0; i < b.N; i++ {
+		m := New(Config{Machine: topo.X86Server(), DisableRunAhead: true})
+		var counter lockapi.Cell
+		turn := func(p *Proc, parity uint64) {
+			for !p.Expired() {
+				for p.Load(&counter, lockapi.Acquire)%2 != parity {
+					p.Spin()
+					if p.Expired() {
+						return
+					}
+				}
+				p.Add(&counter, 1, lockapi.AcqRel)
+			}
+		}
+		pa := m.Spawn(0, func(p *Proc) { turn(p, 0) })
+		pb := m.Spawn(5, func(p *Proc) { turn(p, 1) })
+		m.Run(300_000)
+		ops += pa.Ops + pb.Ops
+	}
+	b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "simops/s")
+}

@@ -30,7 +30,18 @@ type Proc struct {
 	// panicVal carries a workload panic to the scheduler goroutine.
 	panicVal any
 
-	lines map[*line]*plstate
+	// lines is this thread's private per-line state, densely indexed by
+	// line.id. Entry pointers handed out by pls stay valid across parks:
+	// the slice only grows when THIS thread touches a previously unseen
+	// line, and the one cross-thread writer (wakeWatchers) only addresses
+	// lines the parked thread has already seen.
+	lines []plstate
+
+	// lastCell / lastLine short-circuit the machine's cell→line map for
+	// the dominant access pattern, a thread re-touching the cell it just
+	// touched (spin loops, data-cell walks).
+	lastCell *lockapi.Cell
+	lastLine *line
 
 	// lastPollLine / spunSincePoll detect spin loops: a cached re-read of
 	// the same unchanged line with a Spin() hint in between parks the
@@ -81,17 +92,31 @@ func (p *Proc) Expired() bool {
 // Rand returns this thread's private deterministic random stream.
 func (p *Proc) Rand() *xrand.Rand { return p.rng }
 
+// stackReserve pre-grows the calling goroutine's stack in a single step.
+// Virtual CPU goroutines are numerous and short-lived, and their first lock
+// acquisition otherwise pays a cascade of incremental 2K→4K→8K→16K stack
+// copies (runtime.copystack shows up prominently in profiles of quick
+// sweeps); one oversized dead frame reserves the depth up front.
+//
+//go:noinline
+func stackReserve() byte {
+	var pad [16 << 10]byte
+	return pad[len(pad)-1]
+}
+
 // run is the virtual CPU goroutine body.
 func (p *Proc) run(fn func(*Proc)) {
 	defer func() {
 		if r := recover(); r != nil {
 			if _, stop := r.(simStop); !stop {
 				p.panicVal = r
+				p.m.panicked = p
 			}
 		}
 		p.state = stDone
 		p.m.yield <- struct{}{}
 	}()
+	stackReserve()
 	p.waitTurn()
 	fn(p)
 }
@@ -103,24 +128,75 @@ func (p *Proc) waitTurn() {
 	}
 }
 
-// yieldAt schedules this thread's next event at its local time and hands
-// the turn back to the scheduler, returning once the event is granted.
+// yieldAt schedules this thread's next event at its local time and returns
+// once the event is granted.
+//
+// This is the execution core's run-ahead fast path: while this thread
+// remains strictly the globally earliest event — the exact condition under
+// which the scheduler's next pop would re-grant it anyway (a tie loses to
+// the queued entry, whose earlier push holds the smaller sequence number) —
+// and the horizon has not passed, the grant happens inline: advance the
+// machine clock and event count and keep executing, paying no channel
+// handoff. Otherwise fall back to the scheduler round-trip. Both routes
+// grant the same (time, seq) order, so the simulation is bit-identical with
+// the fast path on or off.
 func (p *Proc) yieldAt() {
+	m := p.m
+	if !m.noRA {
+		if t, ok := m.q.MinTime(); (!ok || p.time < t) && (m.horizon <= 0 || p.time <= m.horizon) {
+			m.now = p.time
+			m.events++
+			return
+		}
+	}
 	p.state = stReady
-	p.m.q.Push(p.time, p)
-	p.m.yield <- struct{}{}
+	m.q.Push(p.time, p)
+	p.handoff()
+}
+
+// handoff gives up the turn. When run-ahead is enabled this is a direct
+// thread-to-thread grant: the yielding thread performs the scheduler's next
+// step itself — pop the earliest event, advance the clock, count the event —
+// and resumes the winner with a single channel send, waking the scheduler
+// goroutine only to finalize (horizon overrun or an empty queue). The grant
+// sequence is the queue's (time, seq) pop order either way, so this is
+// invisible in simulation results. With DisableRunAhead it degenerates to
+// the original protocol: wake the scheduler, let it re-grant.
+func (p *Proc) handoff() {
+	m := p.m
+	if m.noRA {
+		m.yield <- struct{}{}
+		p.waitTurn()
+		return
+	}
+	t, next, ok := m.q.Pop()
+	switch {
+	case !ok:
+		// Nothing runnable: the scheduler decides (run end or deadlock).
+		m.yield <- struct{}{}
+	case m.horizon > 0 && t > m.horizon:
+		m.now = m.horizon
+		m.horizonHit = true
+		m.yield <- struct{}{}
+	default:
+		m.now = t
+		m.events++
+		next.resume <- struct{}{}
+	}
 	p.waitTurn()
 }
 
-// emit reports a trace event if tracing is enabled.
+// emit reports a trace event if tracing is enabled. The TraceEvent is only
+// constructed behind the nil check, so the no-trace hot path pays one
+// predictable branch and zero allocations.
 func (p *Proc) emit(op string, c *lockapi.Cell, v uint64, cost int64) {
 	if p.m.trace != nil {
 		p.m.trace(TraceEvent{Time: p.time, CPU: p.cpu, Op: op, Cell: c, Value: v, Cost: cost})
 	}
 }
 
-// advance charges cost (plus configured jitter) and cycles through the
-// scheduler so other threads may run in between.
+// advance charges cost (plus configured jitter) and grants the next event —
+// inline when this thread may run ahead, through the scheduler otherwise.
 func (p *Proc) advance(cost int64) {
 	p.Ops++
 	if p.m.jitter > 0 {
@@ -137,21 +213,34 @@ func (p *Proc) park(ln *line) {
 	p.state = stParked
 	p.Parks++
 	ln.watchers = append(ln.watchers, p)
-	p.m.yield <- struct{}{}
-	p.waitTurn()
+	p.handoff()
 	// The waker forwarded fresh data; do not immediately re-park on it.
 	p.spunSincePoll = false
 	p.justWoke = true
 }
 
-// pls returns this thread's private state for ln.
-func (p *Proc) pls(ln *line) *plstate {
-	st := p.lines[ln]
-	if st == nil {
-		st = &plstate{}
-		p.lines[ln] = st
+// lineOf resolves a cell to its coherence line through the per-thread
+// one-entry cache, falling back to the machine's maps.
+func (p *Proc) lineOf(c *lockapi.Cell) *line {
+	if p.lastCell == c {
+		return p.lastLine
 	}
-	return st
+	ln := p.m.lineOf(c)
+	p.lastCell, p.lastLine = c, ln
+	return ln
+}
+
+// pls returns this thread's private state for ln, growing the dense
+// line-indexed slice on first contact. Growth can invalidate previously
+// returned pointers, so it must only happen at the top of an operation —
+// which it does: within one operation only ln is addressed, and wakers
+// address parked threads only through lines those threads already grew for
+// (a thread parks on a line it has accessed).
+func (p *Proc) pls(ln *line) *plstate {
+	for ln.id >= len(p.lines) {
+		p.lines = append(p.lines, plstate{})
+	}
+	return &p.lines[ln.id]
 }
 
 // transferCost is the cost of pulling a line from its current owner.
@@ -169,8 +258,8 @@ func (p *Proc) transferCost(ln *line) int64 {
 // invalCost is the extra cost a write pays to invalidate shared copies held
 // by other CPUs (the shared→modified upgrade broadcast).
 func (p *Proc) invalCost(ln *line) int64 {
-	n := len(ln.sharers)
-	if _, ok := ln.sharers[p.cpu]; ok {
+	n := ln.sharers.count()
+	if ln.sharers.has(p.cpu) {
 		n--
 	}
 	if n <= 0 {
@@ -251,7 +340,7 @@ func (p *Proc) wakeWatchers(ln *line) {
 		st := w.pls(ln)
 		st.haveSeen = true
 		st.seenVer = ln.version
-		ln.sharers[w.cpu] = struct{}{}
+		ln.sharers.add(w.cpu)
 		w.state = stReady
 		p.m.q.Push(w.time, w)
 	}
@@ -263,7 +352,7 @@ func (p *Proc) wakeWatchers(ln *line) {
 func (p *Proc) markWrite(ln *line) {
 	ln.version++
 	ln.owner = p.cpu
-	clear(ln.sharers)
+	ln.sharers.reset()
 	st := p.pls(ln)
 	st.haveSeen = true
 	st.seenVer = ln.version
@@ -272,7 +361,7 @@ func (p *Proc) markWrite(ln *line) {
 
 // Load implements lockapi.Proc.
 func (p *Proc) Load(c *lockapi.Cell, _ lockapi.Order) uint64 {
-	ln := p.m.lineOf(c)
+	ln := p.lineOf(c)
 	st := p.pls(ln)
 	p.endStorm()
 	for {
@@ -304,7 +393,7 @@ func (p *Proc) Load(c *lockapi.Cell, _ lockapi.Order) uint64 {
 		p.advance(cost)
 		st.haveSeen = true
 		st.seenVer = ln.version
-		ln.sharers[p.cpu] = struct{}{}
+		ln.sharers.add(p.cpu)
 		v := c.Raw().Load()
 		p.emit("load", c, v, cost)
 		return v
@@ -313,7 +402,7 @@ func (p *Proc) Load(c *lockapi.Cell, _ lockapi.Order) uint64 {
 
 // Store implements lockapi.Proc.
 func (p *Proc) Store(c *lockapi.Cell, v uint64, _ lockapi.Order) {
-	ln := p.m.lineOf(c)
+	ln := p.lineOf(c)
 	st := p.pls(ln)
 	p.endStorm()
 	cost := p.m.lat.Hit
@@ -361,7 +450,7 @@ func (p *Proc) rmwCost(ln *line, st *plstate) int64 {
 // that absence of sharers is the CTR benefit). On Armv8 every Add is a real
 // LL/SC pair, so the loop stays live and feeds the retry storm.
 func (p *Proc) Add(c *lockapi.Cell, delta uint64, _ lockapi.Order) uint64 {
-	ln := p.m.lineOf(c)
+	ln := p.lineOf(c)
 	st := p.pls(ln)
 	for {
 		if delta == 0 && p.m.lat.LLSCRetry == 0 &&
@@ -385,7 +474,6 @@ func (p *Proc) Add(c *lockapi.Cell, delta uint64, _ lockapi.Order) uint64 {
 		p.lastPollLine = nil
 		p.advance(cost)
 		nv := c.Raw().Add(delta)
-		defer p.emit("add", c, nv, cost)
 		if delta != 0 {
 			p.markWrite(ln)
 		} else {
@@ -394,17 +482,18 @@ func (p *Proc) Add(c *lockapi.Cell, delta uint64, _ lockapi.Order) uint64 {
 			// version bump (watchers must not wake for an unchanged value)
 			// but ownership and sharers move as for a write.
 			ln.owner = p.cpu
-			clear(ln.sharers)
+			ln.sharers.reset()
 			st.haveSeen = true
 			st.seenVer = ln.version
 		}
+		p.emit("add", c, nv, cost)
 		return nv
 	}
 }
 
 // Swap implements lockapi.Proc (returns the old value).
 func (p *Proc) Swap(c *lockapi.Cell, v uint64, _ lockapi.Order) uint64 {
-	ln := p.m.lineOf(c)
+	ln := p.lineOf(c)
 	st := p.pls(ln)
 	cost := p.rmwCost(ln, st)
 	p.noteRMW(ln)
@@ -419,7 +508,7 @@ func (p *Proc) Swap(c *lockapi.Cell, v uint64, _ lockapi.Order) uint64 {
 // CAS implements lockapi.Proc. A failed CAS still pulls the line and pays
 // the RMW cost (the LL happened) but does not modify it.
 func (p *Proc) CAS(c *lockapi.Cell, old, new uint64, _ lockapi.Order) bool {
-	ln := p.m.lineOf(c)
+	ln := p.lineOf(c)
 	st := p.pls(ln)
 	cost := p.rmwCost(ln, st)
 	p.noteRMW(ln)
@@ -431,7 +520,7 @@ func (p *Proc) CAS(c *lockapi.Cell, old, new uint64, _ lockapi.Order) bool {
 	if ok {
 		ln.version++
 		ln.owner = p.cpu
-		clear(ln.sharers)
+		ln.sharers.reset()
 		p.wakeWatchers(ln)
 	}
 	st.haveSeen = true

@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"testing"
+
+	"github.com/clof-go/clof/internal/faultinject"
+	"github.com/clof-go/clof/internal/lockapi"
+	"github.com/clof-go/clof/internal/locks"
+	"github.com/clof-go/clof/internal/topo"
+)
+
+// Golden fingerprints of complete workload Results — every field, including
+// per-thread splits, robustness counters and the simulator's event count —
+// captured BEFORE the memsim run-ahead execution core landed. They pin the
+// fault-injection path (ISSUE 4: fault-injection determinism under the fast
+// path): injected preemptions, stalls and abandons are scheduled in virtual
+// time, so a scheduling change in the simulator would move them and show up
+// here immediately.
+//
+// Reprint with CLOF_GOLDEN_PRINT=1 after an intentional model change.
+var goldenFaultedRuns = map[string]string{
+	"mcs/none":           "3341b09b2714daf555986252591f2f5d35de0ee07e7668b5fb338faf283489f2",
+	"mcs/mixed":          "b9f75a87460e91ada182627d14f98c828f24d46fa7e45b459339ccec17afcb2f",
+	"mcs/holder-preempt": "2f193da5d37fed388667cc3722f055963f22ba86b0e284e1f6e670d35c214d70",
+	"ticket/abandon":     "c943c2b0f9724df804ec267a29e0f8995c43a4a63ff41f6c3a2684abecf4d2d9",
+}
+
+// resultFingerprint digests the full Result struct, fields spelled out so
+// that adding a field to Result forces this test to be looked at.
+func resultFingerprint(r Result) string {
+	s := fmt.Sprintf("total=%d per=%v handover=%v events=%d now=%d excl=%d aband=%d preempt=%d stalls=%d gap=%d",
+		r.Total, r.PerThread, r.HandoverLevels, r.Events, r.Now,
+		r.ExclusionViolations, r.Abandoned, r.Preemptions, r.Stalls, r.MaxHandoverGapNS)
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}
+
+// TestGoldenFaultedRuns pins faulted and unfaulted simulated runs
+// bit-for-bit across execution-core changes.
+func TestGoldenFaultedRuns(t *testing.T) {
+	cases := []struct {
+		key  string
+		mk   LockFactory
+		plan string
+	}{
+		{"mcs/none", func() lockapi.Lock { return locks.NewMCS() }, ""},
+		{"mcs/mixed", func() lockapi.Lock { return locks.NewMCS() }, "mixed"},
+		{"mcs/holder-preempt", func() lockapi.Lock { return locks.NewMCS() }, "holder-preempt"},
+		{"ticket/abandon", func() lockapi.Lock { return locks.NewTicket() }, "abandon"},
+	}
+	for _, c := range cases {
+		cfg := LevelDB(topo.X86Server(), 8)
+		cfg.Seed = 42
+		if c.plan != "" {
+			cfg.Faults = faultinject.MustByName(c.plan)
+		}
+		res, err := Run(c.mk, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", c.key, err)
+		}
+		got := resultFingerprint(res)
+		if os.Getenv("CLOF_GOLDEN_PRINT") != "" {
+			fmt.Printf("golden %q: %q\n", c.key, got)
+			continue
+		}
+		if want := goldenFaultedRuns[c.key]; got != want {
+			t.Errorf("%s: faulted-run fingerprint drifted\n  got  %s\n  want %s\n  result: %+v",
+				c.key, got, want, res)
+		}
+	}
+}
