@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint check chaos figures figures-quick bench bench-smoke
+.PHONY: build test lint doccheck check chaos figures figures-quick bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -13,8 +13,13 @@ test:
 lint:
 	$(GO) run ./cmd/clof-lint ./...
 
-# Full verification gate: build + vet + lint + tests + race pass + chaos
-# determinism smoke (see scripts/check.sh).
+# Godoc discipline: package comments everywhere, doc comments on every
+# exported top-level declaration (sh+awk only; see scripts/doccheck.sh).
+doccheck:
+	sh scripts/doccheck.sh
+
+# Full verification gate: build + vet + lint + doccheck + tests + race pass
+# + chaos determinism smoke (see scripts/check.sh).
 check:
 	scripts/check.sh
 

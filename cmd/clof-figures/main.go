@@ -78,6 +78,7 @@ var registry = []experiment{
 		}
 	}},
 	{"fairness", func(c *expCtx) { c.emit(figures.Fairness(c.o)) }},
+	{"handover", func(c *expCtx) { c.emit(figures.Handover(c.o)) }},
 	{"ablations", func(c *expCtx) {
 		c.emit(figures.AblationKeepLocal(c.o))
 		c.emit(figures.AblationHasWaiters(c.o))

@@ -19,6 +19,7 @@ import (
 	"github.com/clof-go/clof/internal/lockapi"
 	"github.com/clof-go/clof/internal/locks"
 	"github.com/clof-go/clof/internal/memsim"
+	"github.com/clof-go/clof/internal/obs"
 	"github.com/clof-go/clof/internal/topo"
 )
 
@@ -52,24 +53,13 @@ func main() {
 		lock = typ.New()
 	}
 
-	names := map[*lockapi.Cell]string{}
-	nameOf := func(c *lockapi.Cell) string {
-		if c == nil {
-			return "-"
-		}
-		if n, ok := names[c]; ok {
-			return n
-		}
-		n := fmt.Sprintf("cell%d", len(names))
-		names[c] = n
-		return n
-	}
-
+	// Cell naming and line formatting live in the observability layer
+	// (internal/obs), shared with clof-obs' traffic tables.
+	namer := obs.NewNamer()
 	sim := memsim.New(memsim.Config{
 		Machine: mach,
 		Trace: func(ev memsim.TraceEvent) {
-			fmt.Printf("%8dns cpu%-3d %-6s %-8s val=%-4d cost=%dns\n",
-				ev.Time, ev.CPU, ev.Op, nameOf(ev.Cell), ev.Value, ev.Cost)
+			fmt.Println(obs.FormatEvent(ev, namer))
 		},
 	})
 

@@ -66,6 +66,7 @@ type Diagnostic struct {
 	Message  string
 }
 
+// String renders the finding in the conventional file:line:col style.
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }

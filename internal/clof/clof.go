@@ -111,6 +111,12 @@ type levelLock struct {
 // implements lockapi.Lock; the Proc's ID() must be the acquiring thread's
 // CPU number so the lock can locate the thread's leaf cohort.
 type Lock struct {
+	// Probe reports the composed lock's acquire/grant/release edges to an
+	// attached observer (lockapi.Instrumented). The edges bracket the whole
+	// hierarchy climb: acquire-start before the leaf enqueue (or fast-path
+	// attempt), acquired once the root — or the passed high lock, or the TAS
+	// word — is held. Detached, each edge is one nil check.
+	lockapi.Probe
 	hier      *topo.Hierarchy
 	comp      Composition
 	threshold uint64
@@ -285,6 +291,7 @@ func (l *Lock) NewCtx() lockapi.Ctx {
 // Acquire implements lockapi.Lock: climb from the leaf cohort of p's CPU to
 // the system root (paper Fig. 7/8), unless the TAS fast path wins first.
 func (l *Lock) Acquire(p lockapi.Proc, c lockapi.Ctx) {
+	l.EmitAcquireStart(p)
 	tc := c.(*threadCtx)
 	if l.fastPath {
 		// Steal only when the lock looks free AND nobody is in the slow
@@ -293,6 +300,7 @@ func (l *Lock) Acquire(p lockapi.Proc, c lockapi.Ctx) {
 			p.Load(&l.slowActive, lockapi.Relaxed) == 0 &&
 			p.CAS(&l.fast, 0, 1, lockapi.Acquire) {
 			tc.fastOnly = true
+			l.EmitAcquired(p)
 			return
 		}
 		p.Add(&l.slowActive, 1, lockapi.Relaxed)
@@ -310,6 +318,7 @@ func (l *Lock) Acquire(p lockapi.Proc, c lockapi.Ctx) {
 		}
 		p.Add(&l.slowActive, ^uint64(0), lockapi.Relaxed)
 	}
+	l.EmitAcquired(p)
 }
 
 // acquireNode is lockgen(acq(CLoF(l,L), c)) from Fig. 8.
@@ -357,6 +366,10 @@ func (l *Lock) TryAcquire(p lockapi.Proc, c lockapi.Ctx) bool {
 			p.Load(&l.slowActive, lockapi.Relaxed) == 0 &&
 			p.CAS(&l.fast, 0, 1, lockapi.Acquire) {
 			tc.fastOnly = true
+			// A trylock never waits: both acquire edges land at the
+			// success instant so edge counts stay balanced.
+			l.EmitAcquireStart(p)
+			l.EmitAcquired(p)
 			return true
 		}
 		return false
@@ -371,6 +384,8 @@ func (l *Lock) TryAcquire(p lockapi.Proc, c lockapi.Ctx) bool {
 		return false
 	}
 	tc.held, tc.heldCtx = leaf, ctx
+	l.EmitAcquireStart(p)
+	l.EmitAcquired(p)
 	return true
 }
 
@@ -403,6 +418,7 @@ func (l *Lock) Release(p lockapi.Proc, c lockapi.Ctx) {
 		p.Store(&l.fast, 0, lockapi.Release)
 		if tc.fastOnly {
 			tc.fastOnly = false
+			l.EmitReleased(p)
 			return
 		}
 	}
@@ -412,6 +428,7 @@ func (l *Lock) Release(p lockapi.Proc, c lockapi.Ctx) {
 	}
 	tc.held, tc.heldCtx = nil, nil
 	l.releaseNode(p, n, ctx)
+	l.EmitReleased(p)
 }
 
 // releaseNode is lockgen(rel(CLoF(l,L), c)) from Fig. 8. keep_local and

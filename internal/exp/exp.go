@@ -100,6 +100,12 @@ type Sample struct {
 	// runs contribute zero throughput, matching the sweeps' historic
 	// "report, don't abort" policy.
 	Err string `json:"err,omitempty"`
+	// Obs optionally carries an internal/obs Report as raw JSON. The engine
+	// treats it as opaque: the first run's block is copied onto the point's
+	// Result verbatim, so observability data rides the manifest without the
+	// engine depending on the obs package (or changing any existing
+	// artifact byte when absent).
+	Obs json.RawMessage `json:"obs,omitempty"`
 }
 
 // Point is one independent grid job: a stable key (unique within its spec)
@@ -126,6 +132,9 @@ type Result struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 	// Errors lists failed runs' messages (empty on success).
 	Errors []string `json:"errors,omitempty"`
+	// Obs is the first run's observability block (exp.Sample.Obs), opaque
+	// to the engine; empty when the point was measured without observation.
+	Obs json.RawMessage `json:"obs,omitempty"`
 	// WallMS is the host wall time spent measuring this point (all runs).
 	// It is the one nondeterministic field; nothing derived from a Result
 	// may depend on it.
@@ -244,6 +253,9 @@ func (r *Runner) measure(spec Spec, specHash string, p Point, runs int) Result {
 		totals = append(totals, float64(s.Total))
 		for name, v := range s.Metrics {
 			metricAcc[name] = append(metricAcc[name], v)
+		}
+		if res.Obs == nil && s.Obs != nil {
+			res.Obs = s.Obs
 		}
 	}
 	res.Tput = Summarize(tputs)

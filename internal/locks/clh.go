@@ -10,6 +10,9 @@ import (
 // acquisition (node stealing). Used e.g. as seL4's big kernel lock. Fair,
 // local-spinning.
 type CLH struct {
+	// Probe reports acquire/grant/release edges to an attached observer
+	// (lockapi.Instrumented); detached it is a nil check per edge.
+	lockapi.Probe
 	// tail holds the handle of the most recently enqueued node. Initially a
 	// released dummy node, so the first acquirer sees an unlocked
 	// predecessor.
@@ -51,6 +54,7 @@ func (l *CLH) node(h uint64) *clhNode { return l.nodes[h] }
 
 // Acquire implements lockapi.Lock.
 func (l *CLH) Acquire(p lockapi.Proc, c lockapi.Ctx) {
+	l.EmitAcquireStart(p)
 	ctx := c.(*clhCtx)
 	n := l.node(ctx.node)
 	p.Store(&n.locked, 1, lockapi.Relaxed)
@@ -59,6 +63,7 @@ func (l *CLH) Acquire(p lockapi.Proc, c lockapi.Ctx) {
 	for p.Load(&l.node(pred).locked, lockapi.Acquire) == 1 {
 		p.Spin()
 	}
+	l.EmitAcquired(p)
 }
 
 // TrySupported implements lockapi.TryInfo: CLH declines TryAcquire. The
@@ -76,6 +81,7 @@ func (l *CLH) Release(p lockapi.Proc, c lockapi.Ctx) {
 	ctx := c.(*clhCtx)
 	p.Store(&l.node(ctx.node).locked, 0, lockapi.Release)
 	ctx.node = ctx.pred
+	l.EmitReleased(p)
 }
 
 // HasWaiters implements lockapi.WaiterDetector: with the lock held, the

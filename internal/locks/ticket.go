@@ -9,6 +9,9 @@ import (
 // on the single grant word (global spinning), so every release invalidates
 // every waiter — cheap at low contention, expensive at high contention.
 type Ticket struct {
+	// Probe reports acquire/grant/release edges to an attached observer
+	// (lockapi.Instrumented); detached it is a nil check per edge.
+	lockapi.Probe
 	ticket lockapi.Cell
 	grant  lockapi.Cell
 }
@@ -28,11 +31,13 @@ func (l *Ticket) NewCtx() lockapi.Ctx { return nil }
 
 // Acquire implements lockapi.Lock.
 func (l *Ticket) Acquire(p lockapi.Proc, _ lockapi.Ctx) {
+	l.EmitAcquireStart(p)
 	// Add returns the new value; our ticket is the pre-increment value.
 	t := p.Add(&l.ticket, 1, lockapi.Relaxed) - 1
 	for p.Load(&l.grant, lockapi.Acquire) != t {
 		p.Spin()
 	}
+	l.EmitAcquired(p)
 }
 
 // TryAcquire implements lockapi.TryLocker: claim the next ticket only if the
@@ -45,7 +50,13 @@ func (l *Ticket) TryAcquire(p lockapi.Proc, _ lockapi.Ctx) bool {
 	if t != g {
 		return false
 	}
-	return p.CAS(&l.ticket, t, t+1, lockapi.Acquire)
+	if !p.CAS(&l.ticket, t, t+1, lockapi.Acquire) {
+		return false
+	}
+	// A trylock never waits: both acquire edges land at the success instant.
+	l.EmitAcquireStart(p)
+	l.EmitAcquired(p)
+	return true
 }
 
 // Release implements lockapi.Lock. Only the owner writes grant, so a plain
@@ -53,6 +64,7 @@ func (l *Ticket) TryAcquire(p lockapi.Proc, _ lockapi.Ctx) bool {
 // implementation and is atomic on all backends.
 func (l *Ticket) Release(p lockapi.Proc, _ lockapi.Ctx) {
 	p.Add(&l.grant, 1, lockapi.Release)
+	l.EmitReleased(p)
 }
 
 // HasWaiters implements lockapi.WaiterDetector (paper §4.1.2): with the lock

@@ -113,6 +113,7 @@ type Choice struct {
 	Flush int
 }
 
+// String renders the choice compactly for counterexample traces.
 func (c Choice) String() string {
 	if c.Flush >= 0 {
 		return fmt.Sprintf("t%d.flush[%d]", c.TID, c.Flush)

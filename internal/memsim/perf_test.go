@@ -117,27 +117,65 @@ func pingPongOps(horizon int64) uint64 {
 	return pa.Ops + pb.Ops
 }
 
+// mcsOps runs a two-thread contended MCS loop with the lock's protocol
+// instrumentation compiled in but detached (the embedded lockapi.Probe has
+// no observer), tracing and jitter off, and reports simulated operations.
+// It is the probe for the observability layer's zero-overhead-when-off
+// guarantee: every Emit* on the grant path must reduce to a nil check.
+func mcsOps(horizon int64) uint64 {
+	m := New(Config{Machine: topo.X86Server()})
+	l := locks.NewMCS()
+	var shared lockapi.Cell
+	ctxA, ctxB := l.NewCtx(), l.NewCtx()
+	loop := func(ctx lockapi.Ctx) func(p *Proc) {
+		return func(p *Proc) {
+			for !p.Expired() {
+				l.Acquire(p, ctx)
+				p.Add(&shared, 1, lockapi.Relaxed)
+				l.Release(p, ctx)
+			}
+		}
+	}
+	pa := m.Spawn(0, loop(ctxA))
+	pb := m.Spawn(5, loop(ctxB))
+	m.Run(horizon)
+	return pa.Ops + pb.Ops
+}
+
 // TestNoTraceZeroAllocs enforces the zero-allocations-per-operation
 // guarantee: in no-trace, no-jitter steady state, running 10x longer must
 // not allocate more. All per-run setup (machine, lines, goroutines, slice
 // growth to steady state) cancels out in the subtraction, so any residue
-// would be a per-operation allocation on the hot path.
+// would be a per-operation allocation on the hot path. The instrumented
+// subtest runs a lock that carries observability hooks (lockapi.Probe) with
+// no observer attached, proving the off path of the observability layer is
+// allocation-free too.
 func TestNoTraceZeroAllocs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocation measurement in -short mode")
 	}
-	var opsShort, opsLong uint64
-	allocShort := testing.AllocsPerRun(5, func() { opsShort = pingPongOps(100_000) })
-	allocLong := testing.AllocsPerRun(5, func() { opsLong = pingPongOps(1_000_000) })
-	extraOps := opsLong - opsShort
-	if extraOps == 0 {
-		t.Fatal("horizon change produced no extra ops; test is vacuous")
-	}
-	// Tolerate a few stray allocations (runtime bookkeeping noise), but a
-	// per-op allocation would show up as thousands here.
-	if delta := allocLong - allocShort; delta > 8 {
-		t.Errorf("hot path allocates: %.0f extra allocs over %d extra ops (%.4f/op)",
-			delta, extraOps, delta/float64(extraOps))
+	for _, tc := range []struct {
+		name string
+		run  func(horizon int64) uint64
+	}{
+		{"pingpong", pingPongOps},
+		{"instrumented-lock-detached", mcsOps},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var opsShort, opsLong uint64
+			allocShort := testing.AllocsPerRun(5, func() { opsShort = tc.run(100_000) })
+			allocLong := testing.AllocsPerRun(5, func() { opsLong = tc.run(1_000_000) })
+			extraOps := opsLong - opsShort
+			if extraOps == 0 {
+				t.Fatal("horizon change produced no extra ops; test is vacuous")
+			}
+			// Tolerate a few stray allocations (runtime bookkeeping noise),
+			// but a per-op allocation would show up as thousands here.
+			if delta := allocLong - allocShort; delta > 8 {
+				t.Errorf("hot path allocates: %.0f extra allocs over %d extra ops (%.4f/op)",
+					delta, extraOps, delta/float64(extraOps))
+			}
+		})
 	}
 }
 

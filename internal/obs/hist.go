@@ -1,0 +1,130 @@
+package obs
+
+import "math/bits"
+
+// histBuckets is the bucket count of Hist: one power-of-two bucket per
+// possible bit length of an int64 value, so Record never range-checks.
+const histBuckets = 64
+
+// Hist is an HDR-style log-bucketed latency histogram: bucket b counts
+// values whose bit length is b, i.e. bucket 0 holds the value 0 and bucket
+// b>0 covers [2^(b-1), 2^b). Recording is two adds and a bit scan — cheap
+// enough for per-acquisition use — and quantiles are read back with
+// power-of-two resolution, which is plenty for latencies spanning decades.
+//
+// The zero value is an empty histogram ready for use.
+type Hist struct {
+	counts [histBuckets]uint64
+	count  uint64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// bucketOf maps a non-negative value to its bucket index.
+func bucketOf(v int64) int { return bits.Len64(uint64(v)) }
+
+// Record adds one value. Negative values clamp to zero (they can only arise
+// from a backend without a clock, where latency is meaningless anyway).
+func (h *Hist) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.counts[bucketOf(v)]++
+	h.count++
+	h.sum += v
+}
+
+// Count returns the number of recorded values.
+func (h *Hist) Count() uint64 { return h.count }
+
+// Mean returns the exact mean of the recorded values (0 when empty).
+func (h *Hist) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1): the
+// inclusive upper edge of the bucket containing it, clamped to the observed
+// maximum. Monotone in q; 0 when empty.
+func (h *Hist) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.count))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for b, n := range h.counts {
+		cum += n
+		if cum >= rank {
+			hi := int64(1)<<uint(b) - 1 // inclusive upper edge of bucket b
+			if hi > h.max {
+				hi = h.max
+			}
+			return hi
+		}
+	}
+	return h.max
+}
+
+// HistSummary is the serializable digest of a Hist: totals, the standard
+// quantiles, and the sparse non-empty buckets for consumers that want the
+// full shape.
+type HistSummary struct {
+	// Count is the number of recorded values.
+	Count uint64 `json:"count"`
+	// Min / Max are the exact observed extremes.
+	Min int64 `json:"min"`
+	Max int64 `json:"max"`
+	// Mean is the exact mean.
+	Mean float64 `json:"mean"`
+	// P50 / P90 / P99 are bucket-resolution quantile upper bounds.
+	P50 int64 `json:"p50"`
+	P90 int64 `json:"p90"`
+	P99 int64 `json:"p99"`
+	// Buckets lists the non-empty buckets in ascending value order.
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// HistBucket is one non-empty histogram bucket.
+type HistBucket struct {
+	// Lo / Hi bound the bucket's value range, both inclusive.
+	Lo int64 `json:"lo"`
+	Hi int64 `json:"hi"`
+	// Count is the number of values that fell in [Lo, Hi].
+	Count uint64 `json:"count"`
+}
+
+// Summary digests the histogram.
+func (h *Hist) Summary() HistSummary {
+	s := HistSummary{
+		Count: h.count,
+		Min:   h.min,
+		Max:   h.max,
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+	}
+	for b, n := range h.counts {
+		if n == 0 {
+			continue
+		}
+		lo := int64(0)
+		if b > 0 {
+			lo = int64(1) << uint(b-1)
+		}
+		s.Buckets = append(s.Buckets, HistBucket{Lo: lo, Hi: int64(1)<<uint(b) - 1, Count: n})
+	}
+	return s
+}

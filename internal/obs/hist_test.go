@@ -1,0 +1,72 @@
+package obs
+
+import "testing"
+
+func TestHistBucketEdges(t *testing.T) {
+	var h Hist
+	for _, v := range []int64{0, 1, 2, 3, 4, 7, 8, 1023, 1024} {
+		h.Record(v)
+	}
+	s := h.Summary()
+	if s.Count != 9 || s.Min != 0 || s.Max != 1024 {
+		t.Fatalf("summary totals: %+v", s)
+	}
+	// Expected buckets: [0,0]=1, [1,1]=1, [2,3]=2, [4,7]=2, [8,15]=1,
+	// [512,1023]=1, [1024,2047]=1.
+	want := []HistBucket{
+		{Lo: 0, Hi: 0, Count: 1},
+		{Lo: 1, Hi: 1, Count: 1},
+		{Lo: 2, Hi: 3, Count: 2},
+		{Lo: 4, Hi: 7, Count: 2},
+		{Lo: 8, Hi: 15, Count: 1},
+		{Lo: 512, Hi: 1023, Count: 1},
+		{Lo: 1024, Hi: 2047, Count: 1},
+	}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets: got %+v want %+v", s.Buckets, want)
+	}
+	for i := range want {
+		if s.Buckets[i] != want[i] {
+			t.Errorf("bucket %d: got %+v want %+v", i, s.Buckets[i], want[i])
+		}
+	}
+}
+
+func TestHistQuantiles(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty hist must report zeros")
+	}
+	for v := int64(1); v <= 1000; v++ {
+		h.Record(v)
+	}
+	if got := h.Mean(); got != 500.5 {
+		t.Errorf("mean: got %v want 500.5", got)
+	}
+	// Quantiles are bucket upper bounds: monotone in q, never below the
+	// true quantile, never above the observed max.
+	prev := int64(0)
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 1} {
+		v := h.Quantile(q)
+		trueQ := int64(q * 1000)
+		if v < trueQ {
+			t.Errorf("q=%v: bound %d below true quantile %d", q, v, trueQ)
+		}
+		if v > 1000 {
+			t.Errorf("q=%v: bound %d above max 1000", q, v)
+		}
+		if v < prev {
+			t.Errorf("q=%v: bound %d not monotone (prev %d)", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistNegativeClamps(t *testing.T) {
+	var h Hist
+	h.Record(-5)
+	s := h.Summary()
+	if s.Count != 1 || s.Min != 0 || s.Max != 0 {
+		t.Fatalf("negative value must clamp to 0: %+v", s)
+	}
+}

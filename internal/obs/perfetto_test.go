@@ -1,0 +1,117 @@
+package obs_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"testing"
+
+	"github.com/clof-go/clof/internal/catalog"
+	"github.com/clof-go/clof/internal/lockapi"
+	"github.com/clof-go/clof/internal/obs"
+	"github.com/clof-go/clof/internal/topo"
+	"github.com/clof-go/clof/internal/workload"
+)
+
+// goldenTraceSHA256 pins the exact bytes WriteTraceJSON emits for the seeded
+// scenario below (3-thread MCS on the x86 platform). The export is pure over
+// the simulated run, and the simulator is deterministic, so these bytes may
+// only change when the simulation model, the lock, or the exporter changes —
+// all of which deserve a conscious re-pin.
+const goldenTraceSHA256 = "dccd76ca64f4d4846badfe9fb9a228839992a6216a3a5314f129661282a26380"
+
+// goldenCollector runs the pinned scenario and returns its collector.
+func goldenCollector(t *testing.T) *obs.Collector {
+	t.Helper()
+	m := topo.X86Server()
+	e, err := catalog.Lookup("mcs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := obs.NewCollector(m, obs.Options{Lock: "mcs", Spans: true})
+	cfg := workload.Config{
+		Machine: m, Threads: 3, Horizon: 15_000,
+		CSWork: 100, NCSWork: 400, DataCells: 2, Seed: 9,
+		Observer: col,
+	}
+	if _, err := workload.Run(func() lockapi.Lock { return e.New(m) }, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return col
+}
+
+// TestWriteTraceJSONGolden pins the Perfetto export byte-for-byte and checks
+// the output is well-formed Chrome trace JSON with the structure the
+// exporter promises: named vCPU tracks, complete events for wait/hold spans,
+// and paired flow events for handovers.
+func TestWriteTraceJSONGolden(t *testing.T) {
+	col := goldenCollector(t)
+	var buf bytes.Buffer
+	if err := obs.WriteTraceJSON(&buf, col); err != nil {
+		t.Fatal(err)
+	}
+
+	sum := sha256.Sum256(buf.Bytes())
+	if got := hex.EncodeToString(sum[:]); got != goldenTraceSHA256 {
+		t.Errorf("trace bytes changed: sha256 %s, pinned %s\n"+
+			"(if the simulation model or exporter changed intentionally, re-pin the constant)", got, goldenTraceSHA256)
+	}
+
+	var parsed struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			TID  int     `json:"tid"`
+			ID   uint64  `json:"id"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if parsed.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q", parsed.DisplayTimeUnit)
+	}
+	counts := map[string]int{}
+	flowStarts := map[uint64]int{}
+	flowEnds := map[uint64]int{}
+	for _, ev := range parsed.TraceEvents {
+		counts[ev.Ph]++
+		switch ev.Ph {
+		case "X":
+			if ev.Dur < 0 {
+				t.Errorf("negative span duration: %+v", ev)
+			}
+		case "s":
+			flowStarts[ev.ID]++
+		case "f":
+			flowEnds[ev.ID]++
+		}
+	}
+	if counts["M"] != 3 {
+		t.Errorf("want 3 thread_name metadata events, got %d", counts["M"])
+	}
+	if counts["X"] == 0 {
+		t.Error("no spans exported")
+	}
+	if counts["s"] == 0 || counts["s"] != counts["f"] {
+		t.Errorf("unpaired flow events: %d starts, %d ends", counts["s"], counts["f"])
+	}
+	for id, n := range flowStarts {
+		if n != 1 || flowEnds[id] != 1 {
+			t.Errorf("flow id %d: %d starts, %d ends (want exactly one each)", id, n, flowEnds[id])
+		}
+	}
+}
+
+// TestWriteTraceJSONRequiresSpans pins the guard: a collector built without
+// span retention cannot export a trace.
+func TestWriteTraceJSONRequiresSpans(t *testing.T) {
+	col := obs.NewCollector(topo.X86Server(), obs.Options{})
+	if err := obs.WriteTraceJSON(&bytes.Buffer{}, col); err == nil {
+		t.Fatal("want an error for a span-less collector")
+	}
+}

@@ -52,6 +52,16 @@ type Config struct {
 	// Seed. nil reproduces the unfaulted run exactly (no extra randomness
 	// is drawn and no operation changes).
 	Faults *faultinject.Plan
+	// Trace, when non-nil, receives every committed memory operation
+	// (memsim.Config.Trace) — the raw feed of internal/obs traffic counters
+	// and cmd/clof-trace timelines.
+	Trace func(memsim.TraceEvent)
+	// Observer, when non-nil, receives the lock's protocol edges: the lock
+	// is attached via lockapi.Instrument before any context is created, so
+	// natively instrumented locks report exact grant instants and everything
+	// else is wrapped at the call boundary. Observation never changes the
+	// simulated schedule (edges issue no memory operations).
+	Observer lockapi.Observer
 }
 
 // Result summarizes a run.
@@ -137,8 +147,8 @@ func Run(mk LockFactory, cfg Config) (Result, error) {
 		}
 	}
 	n := len(cpus)
-	m := memsim.New(memsim.Config{Machine: cfg.Machine, Seed: cfg.Seed, JitterNS: cfg.JitterNS, CPUSpeed: cfg.CPUSpeed})
-	l := mk()
+	m := memsim.New(memsim.Config{Machine: cfg.Machine, Seed: cfg.Seed, JitterNS: cfg.JitterNS, CPUSpeed: cfg.CPUSpeed, Trace: cfg.Trace})
+	l := lockapi.Instrument(mk(), cfg.Observer)
 	ctxs := make([]lockapi.Ctx, n)
 	for i := range ctxs {
 		ctxs[i] = l.NewCtx()

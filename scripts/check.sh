@@ -4,14 +4,16 @@
 #   2. go vet ./...
 #   3. clof-lint ./...          (static lock-discipline suite: atomic
 #      access, memory-order policy, copylocks, spin hygiene)
-#   4. go test ./...            (tier-1, includes the model-checker suites)
-#   5. go test -race            on every package except mcheck
+#   4. make doccheck            (godoc discipline: package comments +
+#      doc comments on exported declarations; scripts/doccheck.sh)
+#   5. go test ./...            (tier-1, includes the model-checker suites)
+#   6. go test -race            on every package except mcheck
 #      (mcheck is excluded from the race pass: its replay engine is
 #      single-goroutine, so -race only multiplies its minutes-long
 #      exhaustive searches without checking anything new)
-#   6. clof-chaos smoke run, twice, byte-compared — the determinism
+#   7. clof-chaos smoke run, twice, byte-compared — the determinism
 #      guarantee the robustness report rests on
-#   7. make figures-quick       (experiment engine smoke: a small figure
+#   8. make figures-quick       (experiment engine smoke: a small figure
 #      set on the parallel runner, CSVs + results.json into figures-out/)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -24,6 +26,9 @@ go vet ./...
 
 echo "== clof-lint ./..."
 go run ./cmd/clof-lint ./...
+
+echo "== doccheck"
+make doccheck
 
 echo "== go test ./..."
 go test ./...

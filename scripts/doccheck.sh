@@ -1,0 +1,60 @@
+#!/bin/sh
+# doccheck enforces the repository's godoc discipline with nothing beyond
+# POSIX sh + awk + grep (no go/ast tooling, so CI needs only the toolchain
+# it already has). Two rules, both on non-test Go files outside testdata:
+#
+#   1. every non-main package carries a package comment
+#      ("// Package <name> ..."), and
+#   2. every exported top-level declaration — func, type, var, const at
+#      column 0, and exported methods on exported receivers — is
+#      immediately preceded by a comment line. Methods on unexported
+#      receivers are exempt: godoc does not render them.
+#
+# Column-0 matching is a deliberate approximation: declarations inside
+# var/const/type blocks are indented and therefore exempt, which matches
+# gofmt output and keeps the check cheap and false-positive-free.
+set -eu
+cd "$(dirname "$0")/.."
+
+status=0
+
+gofiles() {
+    find . -name '*.go' ! -name '*_test.go' ! -path '*/testdata/*' ! -path './.git/*' | sort
+}
+
+# Rule 1: package comments.
+for dir in $(gofiles | xargs -n1 dirname | sort -u); do
+    first=$(ls "$dir"/*.go | grep -v '_test\.go$' | head -1)
+    pkg=$(awk '/^package /{print $2; exit}' "$first")
+    [ "$pkg" = "main" ] && continue
+    found=0
+    for f in "$dir"/*.go; do
+        case "$f" in *_test.go) continue ;; esac
+        if grep -q "^// Package $pkg " "$f"; then found=1; break; fi
+    done
+    if [ "$found" = 0 ]; then
+        echo "doccheck: $dir: package $pkg has no '// Package $pkg ...' comment"
+        status=1
+    fi
+done
+
+# Rule 2: doc comments on exported top-level declarations.
+for f in $(gofiles); do
+    awk -v file="${f#./}" '
+        /^func \(([a-zA-Z_][A-Za-z0-9_]* +)?\*?[A-Z][^)]*\) [A-Z]/ || /^func [A-Z]/ ||
+        /^type [A-Z]/ || /^var [A-Z]/ || /^const [A-Z]/ {
+            if (prev !~ /^\/\// && prev !~ /\*\/[ \t]*$/) {
+                printf "doccheck: %s:%d: exported declaration lacks a doc comment: %s\n", file, NR, $0
+                bad = 1
+            }
+        }
+        { prev = $0 }
+        END { exit bad }
+    ' "$f" || status=1
+done
+
+if [ "$status" != 0 ]; then
+    echo "doccheck: FAIL — every exported declaration needs a doc comment" >&2
+    exit 1
+fi
+echo "doccheck: OK"
