@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint doccheck check chaos figures figures-quick bench bench-smoke
+.PHONY: build test lint doccheck check chaos figures figures-quick collapse-quick bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,14 @@ figures:
 # a build artifact.
 figures-quick:
 	$(GO) run ./cmd/clof-figures -exp fig2,fig4,fairness -quick -j 0 -out figures-out/quick
+
+# Saturation-collapse smoke: the concurrency-restriction experiment
+# (internal/cr, EXPERIMENTS.md "Avoiding collapse") at reduced scale, into
+# its own artifact directory so its results.json does not clobber the
+# figures-quick manifest. CI uploads the CSVs + results.json; the committed
+# full-scale curves are figures-out/collapse-*.csv.
+collapse-quick:
+	$(GO) run ./cmd/clof-figures -exp collapse -quick -j 0 -out figures-out/collapse-quick
 
 # Simulator throughput baseline: runs the canonical memsim scenarios
 # (~300ms each) and records host-side simops/s into BENCH_baseline.json.

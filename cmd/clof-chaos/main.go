@@ -41,7 +41,7 @@ import (
 const minShare = 0.05
 
 func main() {
-	platform := flag.String("platform", "x86", "simulated platform: x86 or armv8")
+	platform := flag.String("platform", "x86", "simulated platform: x86, armv8, or oversub")
 	locksCSV := flag.String("locks", "", "comma-separated catalog lock names or family:<tag> filters (default: the full catalog)")
 	plansCSV := flag.String("plans", "", "comma-separated fault plan names (default: all presets)")
 	threadsCSV := flag.String("threads", "8,16", "comma-separated contention levels")
@@ -57,8 +57,10 @@ func main() {
 		mach = topo.X86Server()
 	case "armv8":
 		mach = topo.Armv8Server()
+	case "oversub":
+		mach = topo.OversubscribedServer()
 	default:
-		fatal(fmt.Errorf("unknown platform %q (want x86 or armv8)", *platform))
+		fatal(fmt.Errorf("unknown platform %q (want x86, armv8, or oversub)", *platform))
 	}
 
 	entries, err := catalog.Select(splitCSV(*locksCSV))

@@ -86,6 +86,11 @@ var registry = []experiment{
 		c.emit(figures.CompositionAnalysis(c.o))
 	}},
 	{"biglittle", func(c *expCtx) { c.emit(figures.BigLittle(c.o)) }},
+	{"collapse", func(c *expCtx) {
+		for _, f := range figures.Collapse(c.o) {
+			c.emit(f)
+		}
+	}},
 	{"verify", func(c *expCtx) {
 		fmt.Println("verification table (see also cmd/clof-verify):")
 		for _, r := range figures.VerificationTable(c.o) {

@@ -19,6 +19,7 @@ import (
 	"github.com/clof-go/clof/internal/clof"
 	"github.com/clof-go/clof/internal/cna"
 	"github.com/clof-go/clof/internal/cohort"
+	"github.com/clof-go/clof/internal/cr"
 	"github.com/clof-go/clof/internal/hmcs"
 	"github.com/clof-go/clof/internal/lockapi"
 	"github.com/clof-go/clof/internal/locks"
@@ -98,6 +99,22 @@ func Locks() []Entry {
 		}},
 		Entry{Name: "clof:tas-fastpath", Family: "clof", New: func(m *topo.Machine) lockapi.Lock {
 			return clof.Must(hierFor(m), compFor("tkt-tkt-tkt-tkt"), clof.WithTASFastPath())
+		}},
+	)
+	// Concurrency-restricted variants (internal/cr): the Dice & Kogan
+	// admission-control combinator over a global-spinning basic lock, a
+	// local-spinning one, and a full CLoF composition — the wrapper is
+	// generic, these three cover its interaction space (global spin, queue
+	// handoff, hierarchical handoff).
+	out = append(out,
+		Entry{Name: "cr:tkt", Family: "cr", New: func(m *topo.Machine) lockapi.Lock {
+			return cr.Restrict(m, locks.NewTicket(), cr.Opts{})
+		}},
+		Entry{Name: "cr:mcs", Family: "cr", New: func(m *topo.Machine) lockapi.Lock {
+			return cr.Restrict(m, locks.NewMCS(), cr.Opts{})
+		}},
+		Entry{Name: "cr:clof:tkt-tkt-tkt-tkt", Family: "cr", New: func(m *topo.Machine) lockapi.Lock {
+			return cr.Restrict(m, clof.Must(hierFor(m), compFor("tkt-tkt-tkt-tkt")), cr.Opts{})
 		}},
 	)
 	return out

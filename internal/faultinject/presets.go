@@ -45,6 +45,18 @@ var presets = map[string]func() *Plan{
 			{Kind: Abandon, Every: 3, Attempts: 3, Victims: 0},
 		}}
 	},
+	// oversubscribed models threads ≫ cores: with more runnable threads
+	// than physical cores every CPU periodically loses its timeslice, and
+	// losing it *inside* the critical section is what collapses unrestricted
+	// locks (Dice & Kogan). Every CPU is a victim, preempted mid-CS for a
+	// scheduling quantum (~60µs ≈ 200 LevelDB critical sections) about once
+	// per 40 acquisitions — pair with topo.OversubscribedServer in the
+	// figures "collapse" experiment.
+	"oversubscribed": func() *Plan {
+		return &Plan{Name: "oversubscribed", Faults: []Fault{
+			{Kind: Preempt, Every: 40, Duration: 60_000, Victims: 0},
+		}}
+	},
 	// mixed is all of the above at once — the "as many scenarios as you
 	// can imagine" stress.
 	"mixed": func() *Plan {

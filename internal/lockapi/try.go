@@ -7,6 +7,8 @@ package lockapi
 // it outright), and the shared bounded exponential-backoff helper that both
 // the backoff-family locks and bounded acquisition loops build on.
 
+import "github.com/clof-go/clof/internal/xrand"
+
 // TryLocker is implemented by locks that support a non-blocking acquire.
 //
 // TryAcquire performs a bounded number of memory operations and never calls
@@ -64,13 +66,27 @@ const DefaultBackoffCap = 64
 // DefaultBackoffCap. Callers may retarget Base/Cap between pauses (HBO does,
 // by owner distance); the doubling progress is kept across such changes.
 //
+// A non-zero Seed enables deterministic jitter: each pause draws its spin
+// count uniformly from the upper half of the doubling schedule's current
+// value instead of using it exactly. Without jitter, waiters that entered a
+// backoff loop together pause for identical counts and re-collide on the
+// lock word in lock-step convoys (the failure mode the CR combinator's
+// recirculation must avoid); with it, equal seeds still reproduce equal
+// spin sequences, preserving the simulator's determinism contract.
+//
 // ExpBackoff is per-thread state and must not be shared.
 type ExpBackoff struct {
 	// Base is the first pause's spin count (minimum 1).
 	Base int
 	// Cap bounds the spins of a single pause (0 = DefaultBackoffCap).
 	Cap int
-	cur int
+	// Seed, when non-zero, turns on seeded jitter: pause i spins a
+	// deterministic pseudo-random count in [ceil(n/2), n] where n is the
+	// un-jittered count pause i would have used. Zero keeps the exact
+	// doubling schedule.
+	Seed uint64
+	cur  int
+	rng  *xrand.Rand
 }
 
 // Pause backs off once: Spin between Base and Cap times, then double the
@@ -91,16 +107,27 @@ func (b *ExpBackoff) Pause(p Proc) int {
 	if n > lim {
 		n = lim
 	}
+	// Grow from the issued (clamped) count so a Cap reduction takes effect
+	// immediately and growth can never run away past 2*Cap. Jitter does not
+	// feed back into the schedule: the doubling envelope stays identical
+	// with and without it.
+	b.cur = n * 2
+	if b.Seed != 0 {
+		if b.rng == nil {
+			b.rng = xrand.New(b.Seed)
+		}
+		lo := (n + 1) / 2
+		n = lo + b.rng.Intn(n-lo+1)
+	}
 	for i := 0; i < n; i++ {
 		p.Spin()
 	}
-	// Grow from the issued (clamped) count so a Cap reduction takes effect
-	// immediately and growth can never run away past 2*Cap.
-	b.cur = n * 2
 	return n
 }
 
-// Reset restarts the backoff sequence at Base.
+// Reset restarts the backoff sequence at Base. The jitter stream is not
+// rewound: two waiters resetting at the same point still diverge afterwards,
+// which is the point of jitter.
 func (b *ExpBackoff) Reset() { b.cur = 0 }
 
 // AcquireBounded attempts to acquire l at most `attempts` times with

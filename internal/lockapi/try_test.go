@@ -1,0 +1,97 @@
+package lockapi
+
+import "testing"
+
+// spinCount runs fn against a native Proc and returns how many Spins it
+// issued, cross-checking the count Pause reports.
+func spinCount(t *testing.T, bo *ExpBackoff) int {
+	t.Helper()
+	p := NewNativeProc(0)
+	n := bo.Pause(p)
+	if n < 1 {
+		t.Fatalf("Pause reported %d spins, want >= 1", n)
+	}
+	return n
+}
+
+// TestExpBackoffJitterBounds: with a seed set, every pause stays within
+// [ceil(n/2), n] of the un-jittered schedule and never exceeds Cap.
+func TestExpBackoffJitterBounds(t *testing.T) {
+	for _, seed := range []uint64{1, 42, 0xDEADBEEF} {
+		exact := &ExpBackoff{Base: 2, Cap: 96}
+		jit := &ExpBackoff{Base: 2, Cap: 96, Seed: seed}
+		for i := 0; i < 12; i++ {
+			want := spinCount(t, exact)
+			got := spinCount(t, jit)
+			lo := (want + 1) / 2
+			if got < lo || got > want {
+				t.Fatalf("seed %#x pause %d: jittered %d spins, want in [%d, %d]", seed, i, got, lo, want)
+			}
+			if got > 96 {
+				t.Fatalf("seed %#x pause %d: %d spins exceeds Cap", seed, i, got)
+			}
+		}
+	}
+}
+
+// TestExpBackoffJitterDeterministic: equal seeds reproduce the exact same
+// spin sequence; distinct seeds diverge. Both halves of the contract matter:
+// the first keeps simulator runs byte-identical, the second breaks convoys.
+func TestExpBackoffJitterDeterministic(t *testing.T) {
+	seq := func(seed uint64) []int {
+		bo := &ExpBackoff{Base: 1, Cap: 512, Seed: seed}
+		out := make([]int, 16)
+		for i := range out {
+			out[i] = spinCount(t, bo)
+		}
+		return out
+	}
+	a, b := seq(7), seq(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at pause %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := seq(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("seeds 7 and 8 produced identical 16-pause sequences %v", a)
+	}
+}
+
+// TestExpBackoffJitterSchedulePreserved: jitter must not feed back into the
+// doubling envelope — after any number of jittered pauses the next
+// un-jittered count matches the exact schedule.
+func TestExpBackoffJitterSchedulePreserved(t *testing.T) {
+	exact := &ExpBackoff{Base: 3, Cap: 1 << 20}
+	jit := &ExpBackoff{Base: 3, Cap: 1 << 20, Seed: 99}
+	for i := 0; i < 10; i++ {
+		want := spinCount(t, exact)
+		spinCount(t, jit)
+		jit.Seed = 0 // peek at the envelope without consuming jitter
+		exactNext := exact.cur
+		if jit.cur != exactNext {
+			t.Fatalf("pause %d: jittered envelope %d, exact envelope %d (want equal)", i, jit.cur, exactNext)
+		}
+		jit.Seed = 99
+		_ = want
+	}
+}
+
+// TestExpBackoffZeroSeedExact: Seed==0 keeps the historical exact doubling
+// sequence (1, 2, 4, ... clamped at Cap).
+func TestExpBackoffZeroSeedExact(t *testing.T) {
+	bo := &ExpBackoff{Cap: 16}
+	want := []int{1, 2, 4, 8, 16, 16, 16}
+	for i, w := range want {
+		if got := spinCount(t, bo); got != w {
+			t.Fatalf("pause %d: %d spins, want %d", i, got, w)
+		}
+	}
+}

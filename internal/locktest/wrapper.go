@@ -1,0 +1,160 @@
+package locktest
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/clof-go/clof/internal/lockapi"
+	"github.com/clof-go/clof/internal/topo"
+)
+
+// edgeCounter is the balance oracle for observer pass-through: every
+// acquire-start must be matched by exactly one acquired and one released
+// edge. Counters are atomic because conformance runs attach it while a
+// second thread contends.
+type edgeCounter struct {
+	start, acquired, released uint64
+}
+
+func (e *edgeCounter) AcquireStart(lockapi.Proc) { atomic.AddUint64(&e.start, 1) }
+func (e *edgeCounter) Acquired(lockapi.Proc)     { atomic.AddUint64(&e.acquired, 1) }
+func (e *edgeCounter) Released(lockapi.Proc)     { atomic.AddUint64(&e.released, 1) }
+
+func (e *edgeCounter) counts() (s, a, r uint64) {
+	return atomic.LoadUint64(&e.start), atomic.LoadUint64(&e.acquired), atomic.LoadUint64(&e.released)
+}
+
+// WrapperConformance verifies that a combinator (a lock wrapping another
+// lock — cr.Restrict, an instrumentation shim, a future adapter) forwards
+// the optional capability surface of the lock it wraps instead of silently
+// narrowing it. base must be a fresh instance of the same type and
+// configuration as the lock inside wrapped; both must be unheld.
+//
+// Checked contracts:
+//
+//   - trylock capability equality: lockapi.SupportsTry answers the same for
+//     wrapped and base — a wrapper may neither invent a try path its inner
+//     lock cannot roll back, nor hide one it has;
+//   - try behavior (when supported): uncontended success, failure while held
+//     from a near and a far CPU, and no residual state after failures;
+//   - fairness monotonicity: a wrapper must not declare Fair over an unfair
+//     inner lock (the converse is allowed — wrappers may forfeit fairness);
+//   - waiter detection: if base detects waiters (lockapi.WaiterDetector),
+//     wrapped must too, report none on an uncontended hold, and detect a
+//     real parked waiter;
+//   - observer pass-through: wrapped must implement lockapi.Instrumented,
+//     and its edge stream must stay balanced (starts == acquireds ==
+//     releaseds) across blocking cycles, successful tries, and failed tries
+//     (a failed try emits nothing).
+func WrapperConformance(t testing.TB, mach *topo.Machine, wrapped, base lockapi.Lock) {
+	t.Helper()
+
+	if got, want := lockapi.SupportsTry(wrapped), lockapi.SupportsTry(base); got != want {
+		t.Errorf("SupportsTry(wrapped) = %v, want %v (capability not forwarded)", got, want)
+	}
+	if lockapi.Fair(wrapped) && !lockapi.Fair(base) {
+		t.Error("wrapper declares Fair over an unfair inner lock")
+	}
+	if _, ok := base.(lockapi.WaiterDetector); ok {
+		if _, ok := wrapped.(lockapi.WaiterDetector); !ok {
+			t.Error("inner lock detects waiters but the wrapper dropped lockapi.WaiterDetector")
+		}
+	}
+
+	in, ok := wrapped.(lockapi.Instrumented)
+	if !ok {
+		t.Fatal("wrapper does not implement lockapi.Instrumented")
+	}
+	edges := &edgeCounter{}
+	in.Instrument(edges)
+	defer in.Instrument(nil)
+
+	// Blocking cycles keep the edge stream balanced.
+	const cycles = 16
+	p0 := lockapi.NewNativeProc(0)
+	c0 := wrapped.NewCtx()
+	for i := 0; i < cycles; i++ {
+		wrapped.Acquire(p0, c0)
+		wrapped.Release(p0, c0)
+	}
+	if s, a, r := edges.counts(); s != cycles || a != cycles || r != cycles {
+		t.Errorf("edge counts after %d blocking cycles = (%d,%d,%d), want balanced", cycles, s, a, r)
+	}
+
+	// Waiter detection: none on an uncontended hold, one real parked waiter
+	// detected while held.
+	if wd, ok := wrapped.(lockapi.WaiterDetector); ok {
+		wrapped.Acquire(p0, c0)
+		if wd.HasWaiters(p0, c0) {
+			t.Error("HasWaiters = true with no waiters")
+		}
+		waiterDone := make(chan struct{})
+		go func() {
+			defer close(waiterDone)
+			pw := lockapi.NewNativeProc(1)
+			cw := wrapped.NewCtx()
+			wrapped.Acquire(pw, cw)
+			wrapped.Release(pw, cw)
+		}()
+		deadline := time.Now().Add(5 * time.Second)
+		for !wd.HasWaiters(p0, c0) {
+			if time.Now().After(deadline) {
+				t.Error("HasWaiters never saw the parked waiter")
+				break
+			}
+			runtime.Gosched()
+		}
+		wrapped.Release(p0, c0)
+		<-waiterDone
+	}
+
+	// Try conformance and try-edge balance.
+	if lockapi.SupportsTry(wrapped) {
+		tl := wrapped.(lockapi.TryLocker)
+		s0, a0, r0 := edges.counts()
+
+		ct := wrapped.NewCtx()
+		if !tl.TryAcquire(p0, ct) {
+			t.Fatal("TryAcquire failed on a free lock")
+		}
+		wrapped.Release(p0, ct)
+		if s, a, r := edges.counts(); s != s0+1 || a != a0+1 || r != r0+1 {
+			t.Errorf("successful try edges = (%d,%d,%d), want (%d,%d,%d)", s, a, r, s0+1, a0+1, r0+1)
+		}
+
+		wrapped.Acquire(p0, c0)
+		s1, a1, r1 := edges.counts()
+		for _, cpu := range []int{1, mach.NumCPUs() - 1} {
+			pt := lockapi.NewNativeProc(cpu)
+			cf := wrapped.NewCtx()
+			for i := 0; i < 3; i++ {
+				if tl.TryAcquire(pt, cf) {
+					t.Fatalf("TryAcquire from CPU %d succeeded while held", cpu)
+				}
+			}
+			// The failed context must be reusable once the lock frees.
+			wrapped.Release(p0, c0)
+			if !tl.TryAcquire(pt, cf) {
+				t.Fatalf("TryAcquire from CPU %d failed on a free lock after earlier failures (residual state)", cpu)
+			}
+			wrapped.Release(pt, cf)
+			wrapped.Acquire(p0, c0)
+		}
+		// Failed tries must not have emitted edges; the loop above did 2
+		// successful tries and 2 release/reacquire swaps, nothing else.
+		if s, a, r := edges.counts(); s-s1 != 4 || a-a1 != 4 || r-r1 != 4 {
+			t.Errorf("held-phase edge deltas = (%d,%d,%d), want (4,4,4): failed tries leaked edges", s-s1, a-a1, r-r1)
+		}
+		wrapped.Release(p0, c0)
+	} else if supported, acquired := lockapi.TryAcquire(wrapped, p0, wrapped.NewCtx()); supported || acquired {
+		t.Errorf("SupportsTry = false but TryAcquire reported (%v,%v)", supported, acquired)
+	}
+
+	// Whole-run balance: every start matched by one acquired and one
+	// released, no edge invented or dropped anywhere above.
+	if s, a, r := edges.counts(); s != a || a != r {
+		t.Errorf("final edge counts = (%d,%d,%d), want balanced", s, a, r)
+	}
+}

@@ -1,0 +1,29 @@
+package locktest_test
+
+import (
+	"testing"
+
+	"github.com/clof-go/clof/internal/catalog"
+	"github.com/clof-go/clof/internal/cr"
+	"github.com/clof-go/clof/internal/locktest"
+	"github.com/clof-go/clof/internal/topo"
+)
+
+// TestCRWrapperConformance runs the wrapper-conformance harness for
+// cr.Restrict over every catalog lock: whatever capability surface the inner
+// lock has — trylock or an explicit declination, waiter detection, a
+// fairness declaration — the restricted variant must forward it, and its
+// observer edge stream must stay balanced through blocking, successful-try
+// and failed-try paths. This is the regression gate for combinators
+// narrowing the capability surface, which would silently change which code
+// paths chaos sweeps and the obs layer exercise.
+func TestCRWrapperConformance(t *testing.T) {
+	m := topo.X86Server()
+	for _, e := range catalog.Locks() {
+		e := e
+		t.Run("cr_over_"+e.Name, func(t *testing.T) {
+			wrapped := cr.Restrict(m, e.New(m), cr.Opts{})
+			locktest.WrapperConformance(t, m, wrapped, e.New(m))
+		})
+	}
+}

@@ -158,6 +158,101 @@ func Check(prog Program, cfg Config) Result {
 	return res
 }
 
+// CheckGuided runs ONE execution of prog under an explicit scheduling
+// policy instead of exploring all interleavings: at every step, pick
+// receives the step index and the enabled transitions and returns the one
+// to take (it must return an element of enabled). The run ends at the first
+// violation, at quiescence (all threads done, Final validated), or at
+// cfg.MaxDepth.
+//
+// This is the tool for properties whose witness schedules exhaustive search
+// cannot reach within budget. A bypass/starvation witness needs the victim
+// to announce its wait *before* the bypassers run, but depth-first search
+// backtracks from the end of the schedule, so witness prefixes — which
+// deviate from the default exploration order at the very beginning — are
+// the last thing it visits. A guided run demonstrates the witness directly
+// on the same executor and monitors as Check: the schedule is validated
+// step by step, and the reported Violation comes from the same bounded-
+// bypass/exclusion/deadlock machinery, so a guided conviction is exactly as
+// trustworthy as an explored one — it just does not claim exhaustiveness.
+func CheckGuided(prog Program, cfg Config, pick func(step int, enabled []Choice) Choice) Result {
+	if cfg.MaxDepth == 0 {
+		cfg.MaxDepth = 4000
+	}
+	ex := newExec(prog, cfg.Mode, cfg.FairnessK)
+	defer ex.shutdown()
+	res := Result{Executions: 1}
+	var schedule []Choice
+	for {
+		if ex.violation != "" {
+			res.Violation = ex.violation
+			res.Witness = schedule
+			return res
+		}
+		if ex.allDone() {
+			if prog.Final != nil {
+				if msg := prog.Final(func(cl *lockapi.Cell) uint64 { return ex.cell(cl).value }); msg != "" {
+					res.Violation = "final state: " + msg
+					res.Witness = schedule
+					return res
+				}
+			}
+			res.OK = true
+			return res
+		}
+		enabled := ex.enabledChoices()
+		if len(enabled) == 0 {
+			res.Violation = "deadlock (threads blocked with no enabled transition)"
+			res.Witness = schedule
+			return res
+		}
+		if len(schedule) >= cfg.MaxDepth {
+			res.Truncated = true
+			return res
+		}
+		ch := pick(len(schedule), enabled)
+		if ch.Flush >= 0 {
+			ex.flush(ch.TID, ch.Flush)
+		} else {
+			ex.step(ch.TID)
+		}
+		schedule = append(schedule, ch)
+		res.MaxDepthSeen = len(schedule)
+	}
+}
+
+// RoundRobin is a CheckGuided policy that rotates fairly through the
+// enabled threads: each step runs the enabled choice with the smallest
+// thread id strictly greater (modulo wrap-around) than the last scheduled
+// one, preferring a thread's pending operation over its buffer flushes.
+// Threads parked in an await (spin loop on an unchanged cell) are not
+// enabled and are skipped automatically — so a round-robin run of a lock
+// program is the canonical "fair scheduler" execution, and a starvation
+// found under it is a starvation the scheduler cannot be blamed for.
+func RoundRobin() func(step int, enabled []Choice) Choice {
+	last := -1
+	return func(_ int, enabled []Choice) Choice {
+		best := enabled[0]
+		bestKey := -1
+		for _, ch := range enabled {
+			if ch.Flush >= 0 {
+				continue
+			}
+			key := ch.TID - last - 1
+			if key < 0 {
+				key += 1 << 30
+			}
+			if bestKey == -1 || key < bestKey {
+				best, bestKey = ch, key
+			}
+		}
+		if best.Flush < 0 {
+			last = best.TID
+		}
+		return best
+	}
+}
+
 type fingerprint [2]uint64
 
 type checker struct {

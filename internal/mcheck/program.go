@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/clof-go/clof/internal/clof"
+	"github.com/clof-go/clof/internal/cr"
 	"github.com/clof-go/clof/internal/lockapi"
 	"github.com/clof-go/clof/internal/locks"
 	"github.com/clof-go/clof/internal/topo"
@@ -183,6 +184,69 @@ func FastPathProgram(iters int) Program {
 			return ""
 		},
 	}
+}
+
+// CRProgram verifies the concurrency-restriction combinator (internal/cr):
+// `threads` threads each acquire `iters` times through cr.Restrict over a
+// verified Ticketlock with Target 1 and PassLimit 1, the tightest admission
+// control that still must recirculate every waiter. Checked properties:
+// mutual exclusion, deadlock freedom (a passive waiter parked on its wake
+// slot must always eventually be granted), the release-barrier data
+// invariant, and — via CheckLiveness — the bounded-bypass guarantee for a
+// lone remote waiter.
+//
+// Thread→cohort mapping: with threads <= 2 the program runs on a 2-CPU
+// machine, one CPU per cache group (one thread per cohort; exhaustible).
+// With threads >= 3 it runs on VerifyMachine, the induction shape: threads
+// 0..threads-2 share cache-group cohort 0 and the last thread is alone in
+// cohort 1. The 3-thread state space exceeds the practical exhaustion
+// budget — a probe still truncates past 1.5M states — so 3-thread safety
+// checks run under an explicit MaxStates bound (see TestCRVerified).
+//
+// broken selects the BreakRecirculation variant: refills always favor the
+// releaser's own cohort and heads barge without designation, so the threads
+// sharing cohort 0 can recycle the single active slot between themselves
+// forever while the remote head waits parked. Exhaustive search cannot
+// reach that witness within budget (the victim's wait announcement must
+// precede the bypassers' entire runs — the last deviation depth-first
+// backtracking visits), so the starvation is demonstrated with CheckGuided
+// under a RoundRobin schedule: a fair scheduler alone starves the remote
+// cohort at every bypass bound, while the intact rotation admits it on the
+// first PassLimit rotation (see TestCRBrokenRecirculationStarves).
+func CRProgram(threads, iters int, broken bool) Program {
+	var mach *topo.Machine
+	if threads <= 2 {
+		// A 2-CPU machine, one CPU per cache group, keeps the search
+		// tractable: one wake slot per cohort instead of VerifyMachine's two.
+		mach = &topo.Machine{
+			Name:           "verify2",
+			Arch:           topo.ArmV8,
+			Packages:       1,
+			NUMAPerPackage: 1,
+			GroupsPerNUMA:  2,
+			CoresPerGroup:  1,
+			ThreadsPerCore: 1,
+		}
+	} else {
+		mach = VerifyMachine()
+	}
+	name := "cr-tkt"
+	if broken {
+		name += "-broken-recirculation"
+	}
+	prog := LockProgram(name, threads, iters, func() lockapi.Lock {
+		return cr.Restrict(mach, locks.NewTicket(), cr.Opts{
+			Level:              topo.CacheGroup,
+			Target:             1,
+			PassLimit:          1,
+			DisableAdapt:       true,
+			BackoffBase:        1,
+			BackoffCap:         1,
+			BreakRecirculation: broken,
+		})
+	})
+	prog.ExpectFair = !broken
+	return prog
 }
 
 // relaxedReleaseTicket is a deliberately broken Ticketlock whose release is

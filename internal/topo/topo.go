@@ -243,6 +243,26 @@ func Armv8Server() *Machine {
 	}
 }
 
+// OversubscribedServer models a heavily oversubscribed host: a small
+// dual-NUMA x86 machine (1 package × 2 NUMA nodes × 2 cache groups × 2
+// cores × 8 SMT contexts = 64 CPUs over 8 physical cores). With the
+// paper's core-first Placement, runnable threads outnumber physical cores
+// past 8 threads — the regime where unrestricted waiter sets convoy behind
+// preempted holders and throughput collapses (Dice & Kogan). Pair it with
+// the faultinject "oversubscribed" preset for the figures collapse
+// experiment.
+func OversubscribedServer() *Machine {
+	return &Machine{
+		Name:           "x86-oversub-8c64t",
+		Arch:           X86,
+		Packages:       1,
+		NUMAPerPackage: 2,
+		GroupsPerNUMA:  2,
+		CoresPerGroup:  2,
+		ThreadsPerCore: 8,
+	}
+}
+
 // BigLittleSoC models a handheld-class asymmetric SoC, the paper's §7
 // future-work target: one package, one memory, two clusters (cache groups)
 // of four cores — cluster 0 the "big" cores, cluster 1 the "LITTLE" cores.

@@ -15,6 +15,9 @@
 #      guarantee the robustness report rests on
 #   8. make figures-quick       (experiment engine smoke: a small figure
 #      set on the parallel runner, CSVs + results.json into figures-out/)
+#   9. collapse smoke           (concurrency-restriction experiment at
+#      reduced scale, byte-compared across -j levels, then regenerated
+#      into figures-out/collapse-quick/ for the CI artifact)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -50,5 +53,15 @@ echo "chaos smoke: byte-identical across reruns"
 
 echo "== figures-quick (experiment engine smoke)"
 make figures-quick
+
+echo "== collapse-quick (concurrency-restriction smoke + determinism)"
+# The collapse curves must be byte-identical at any worker-pool width —
+# same guarantee as the chaos CSV, checked the same way.
+go run ./cmd/clof-figures -exp collapse -quick -j 1 -q -out "$tmp/collapse-j1"
+go run ./cmd/clof-figures -exp collapse -quick -j 4 -q -out "$tmp/collapse-j4"
+cmp "$tmp/collapse-j1/collapse-none.csv" "$tmp/collapse-j4/collapse-none.csv"
+cmp "$tmp/collapse-j1/collapse-oversubscribed.csv" "$tmp/collapse-j4/collapse-oversubscribed.csv"
+echo "collapse smoke: byte-identical across -j levels"
+make collapse-quick
 
 echo "check: OK"
