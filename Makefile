@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint doccheck check chaos figures figures-quick collapse-quick bench bench-smoke
+.PHONY: build test lint lint-report lint-litmus doccheck check chaos figures figures-quick collapse-quick bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -9,9 +9,27 @@ test:
 	$(GO) test ./...
 
 # Static lock-discipline suite (atomic access, memory-order policy,
-# copylocks, spin hygiene). Exits nonzero on findings.
+# copylocks, spin hygiene) plus the whole-program lock-graph analyzers
+# (lockorder: cross-package deadlock cycles and CLoF level inversions;
+# heldescape: lock-protected fields read with no lock held). Exits nonzero
+# on findings.
 lint:
 	$(GO) run ./cmd/clof-lint ./...
+
+# Machine-readable findings report (position-sorted JSON array; "[]" when
+# clean) into figures-out/ for the CI artifact. Exits nonzero on findings,
+# like lint, but the report is written either way.
+lint-report:
+	mkdir -p figures-out
+	$(GO) run ./cmd/clof-lint -json ./... > figures-out/lint-report.json
+
+# The lint→mcheck bridge: emit one runnable mcheck litmus program per
+# statically detected lock-order cycle into figures-out/litmus/ (each
+# `go run`s from the repository root and exits 0 iff the model checker
+# reproduces the deadlock). Waived cycles are skipped, so a clean tree
+# ⇒ "no live lock-order cycles".
+lint-litmus:
+	$(GO) run ./cmd/clof-lint -litmus figures-out/litmus ./... || true
 
 # Godoc discipline: package comments everywhere, doc comments on every
 # exported top-level declaration (sh+awk only; see scripts/doccheck.sh).

@@ -2,7 +2,11 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 
@@ -65,5 +69,123 @@ func TestSeededBarrierBugBothTools(t *testing.T) {
 
 	if res := mcheck.Check(mcheck.BrokenTicketProgram(2, 2), mcheck.Config{Mode: mcheck.WMM}); res.OK {
 		t.Errorf("mcheck accepted BrokenTicketProgram under WMM; the seeded bug must fail dynamically too")
+	}
+}
+
+// TestJSONOutput pins the machine-readable format: -json on the defective
+// module yields a parseable, position-sorted array naming the new
+// whole-program analyzers.
+func TestJSONOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-dir", filepath.Join("testdata", "badmod"), "-json"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("clof-lint -json on testdata/badmod: exit %d, want 1\nstderr:\n%s", code, errb.String())
+	}
+	var diags []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("JSON output is empty")
+	}
+	byAnalyzer := map[string]int{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer]++
+		if d.File == "" || d.Line == 0 || d.Message == "" {
+			t.Errorf("incomplete JSON finding: %+v", d)
+		}
+	}
+	for _, want := range []string{"lockorder", "heldescape"} {
+		if byAnalyzer[want] == 0 {
+			t.Errorf("no %q findings in JSON output; got %v", want, byAnalyzer)
+		}
+	}
+	if !sort.SliceIsSorted(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Col <= b.Col
+	}) {
+		t.Errorf("JSON findings are not position-sorted:\n%s", out.String())
+	}
+}
+
+// TestLitmusRespectsWaivers pins the emitter's waiver semantics: the
+// repository's own lock-order cycles are all triaged (//lint:lockorder
+// waivers with reasons), so a repo-wide -litmus run must skip them and
+// write nothing — a waived cycle is a non-finding and deserves no witness.
+func TestLitmusRespectsWaivers(t *testing.T) {
+	root := atest.RepoRoot(t, "")
+	dir, err := os.MkdirTemp(root, ".litmus-waived-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	var out, errb bytes.Buffer
+	code := run([]string{"-dir", root, "-litmus", dir}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("clof-lint -litmus on the repository: exit %d, want 0\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errb.String())
+	}
+	if entries, err := os.ReadDir(dir); err != nil || len(entries) != 0 {
+		t.Fatalf("repo-wide -litmus emitted %d programs (err=%v), want 0: waived cycles must be skipped\nstderr:\n%s",
+			len(entries), err, errb.String())
+	}
+	got := errb.String()
+	if !strings.Contains(got, "all closing edges waived") ||
+		!strings.Contains(got, "no live lock-order cycles") {
+		t.Fatalf("stderr does not narrate the skipped waived cycles:\n%s", got)
+	}
+}
+
+// TestLitmusBridgeE2E is the full lint→mcheck round trip: -litmus on the
+// minimal ABBA module must emit exactly one program, and `go run` of that
+// program (from the repository root — the mcheck import is
+// module-internal) must reproduce the deadlock and exit 0.
+func TestLitmusBridgeE2E(t *testing.T) {
+	root := atest.RepoRoot(t, "")
+	// The emitted program imports this module's internal/mcheck, so it must
+	// live (and run) under the repository root; a dot-prefixed directory is
+	// invisible to ./... patterns, the go tool, and the loader.
+	dir, err := os.MkdirTemp(root, ".litmus-e2e-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	var out, errb bytes.Buffer
+	code := run([]string{"-dir", filepath.Join("testdata", "abbamod"), "-litmus", dir}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("clof-lint -litmus on testdata/abbamod: exit %d, want 1 (the cycle is a finding)\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errb.String())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("emitted %d litmus programs, want 1; stderr:\n%s", len(entries), errb.String())
+	}
+	prog := filepath.Join(dir, entries[0].Name())
+
+	cmd := exec.Command("go", "run", prog)
+	cmd.Dir = root
+	runOut, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %s: %v\n%s", prog, err, runOut)
+	}
+	if !strings.Contains(string(runOut), "deadlock reproduced") {
+		t.Fatalf("litmus program did not report the deadlock:\n%s", runOut)
 	}
 }

@@ -1,0 +1,28 @@
+// Package ab is the minimal ABBA module for the clof-lint -litmus e2e
+// test: exactly one lock-order cycle and nothing else, so the bridge emits
+// exactly one mcheck program and that program must reproduce the deadlock.
+package ab
+
+import "sync"
+
+// MuA is one of the two locks.
+var MuA sync.Mutex
+
+// MuB is the other.
+var MuB sync.Mutex
+
+// Forward takes A then B.
+func Forward() {
+	MuA.Lock()
+	MuB.Lock()
+	MuB.Unlock()
+	MuA.Unlock()
+}
+
+// Backward takes B then A.
+func Backward() {
+	MuB.Lock()
+	MuA.Lock()
+	MuA.Unlock()
+	MuB.Unlock()
+}

@@ -1,0 +1,3 @@
+module abbamod
+
+go 1.24

@@ -1,0 +1,46 @@
+// Package deadlock seeds the whole-program analyzers: an ABBA cycle
+// between two package-level locks (lockorder) and a guarded counter with a
+// bare getter (heldescape).
+package deadlock
+
+import "sync"
+
+// MuA is one of the two locks of the ABBA pair.
+var MuA sync.Mutex
+
+// MuB is the other.
+var MuB sync.Mutex
+
+// Forward takes A then B.
+func Forward() {
+	MuA.Lock()
+	MuB.Lock()
+	MuB.Unlock()
+	MuA.Unlock()
+}
+
+// Backward takes B then A: the inversion.
+func Backward() {
+	MuB.Lock()
+	MuA.Lock()
+	MuA.Unlock()
+	MuB.Unlock()
+}
+
+// Gauge guards v with mu.
+type Gauge struct {
+	mu sync.Mutex
+	v  int
+}
+
+// Set writes under the lock.
+func (g *Gauge) Set(v int) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Peek reads bare: the escape.
+func (g *Gauge) Peek() int {
+	return g.v
+}

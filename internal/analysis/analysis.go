@@ -56,7 +56,41 @@ type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Pkg      *loader.Package
-	diags    []Diagnostic
+	// Prog is the whole-program context shared by every pass of one Run:
+	// all packages named in the run plus a memoized fact store, so
+	// interprocedural analyzers (lockorder, heldescape) compute their
+	// cross-package summaries once, not once per (analyzer, package).
+	Prog  *Program
+	diags []Diagnostic
+}
+
+// Program is the whole-program side of a Run: the packages under analysis
+// and a store for facts computed over them (and their module-owned
+// dependencies, reachable through loader.Package.Dep). Runs are
+// single-threaded, so the store needs no locking.
+type Program struct {
+	// Pkgs are the packages named in the run, sorted by import path.
+	Pkgs  []*loader.Package
+	facts map[string]any
+}
+
+// NewProgram wraps pkgs as a whole-program context. The analysis driver
+// builds one per Run; tools that need program-level facts outside a Run
+// (the clof-lint -litmus bridge) build their own.
+func NewProgram(pkgs []*loader.Package) *Program {
+	return &Program{Pkgs: pkgs, facts: map[string]any{}}
+}
+
+// Fact returns the fact stored under key, computing and memoizing it with
+// build on first use. Analyzers use it to share one whole-program summary
+// (e.g. the lockfacts world) across every package pass of a run.
+func (p *Program) Fact(key string, build func() any) any {
+	if v, ok := p.facts[key]; ok {
+		return v
+	}
+	v := build()
+	p.facts[key] = v
+	return v
 }
 
 // Diagnostic is one finding.
@@ -98,7 +132,16 @@ func waiversByLine(fset *token.FileSet, f *ast.File, report func(pos token.Pos, 
 				continue
 			}
 			fields := strings.Fields(body)
-			if len(fields) < 3 {
+			if len(fields) == 2 {
+				// A bare waiver — tag and verb but no reason — is the one
+				// shape worth its own message: it parses as intentional but
+				// records no justification, which defeats the audit trail the
+				// waiver mechanism exists for. Report it and do NOT let it
+				// filter findings.
+				report(c.Pos(), fmt.Sprintf("bare waiver %q: a waiver must state its reason (//lint:<tag> <verb> <reason>)", c.Text))
+				continue
+			}
+			if len(fields) < 2 {
 				report(c.Pos(), fmt.Sprintf("malformed waiver %q: want //lint:<tag> <verb> <reason>", c.Text))
 				continue
 			}
@@ -130,6 +173,7 @@ func Audit(pkgs []*loader.Package, analyzers []*Analyzer) []Diagnostic {
 
 func run(pkgs []*loader.Package, analyzers []*Analyzer, applyWaivers bool) []Diagnostic {
 	var out []Diagnostic
+	prog := NewProgram(pkgs)
 	for _, pkg := range pkgs {
 		// Waiver tables for this package, one per file.
 		fset := pkg.Fset
@@ -141,7 +185,7 @@ func run(pkgs []*loader.Package, analyzers []*Analyzer, applyWaivers bool) []Dia
 			})
 		}
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Fset: fset, Pkg: pkg}
+			pass := &Pass{Analyzer: a, Fset: fset, Pkg: pkg, Prog: prog}
 			a.Run(pass)
 			for _, d := range pass.diags {
 				if applyWaivers && waived(waivers[d.Pos.Filename], a.Tag, d.Pos.Line) {

@@ -1,0 +1,83 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"github.com/clof-go/clof/internal/analysis"
+	"github.com/clof-go/clof/internal/analysis/atest"
+)
+
+// dummy flags every function whose name starts with "Flagged" — a minimal
+// analyzer for exercising the framework's waiver filtering.
+var dummy = &analysis.Analyzer{
+	Name: "dummy",
+	Tag:  "dummy",
+	Doc:  "flags functions named Flagged* (framework test only)",
+	Run: func(pass *analysis.Pass) {
+		for _, f := range pass.Pkg.Syntax {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && strings.HasPrefix(fd.Name.Name, "Flagged") {
+					pass.Reportf(fd.Name.Pos(), "function %s is flagged", fd.Name.Name)
+				}
+			}
+		}
+	},
+}
+
+// TestWaiverReasonEnforcement is the regression test for the waiver parser:
+// a reasoned waiver filters its finding, a bare waiver (no reason) filters
+// nothing and is itself reported, and a verb-less comment is malformed.
+func TestWaiverReasonEnforcement(t *testing.T) {
+	pkgs := atest.Load(t, "waiverfix")
+	diags := analysis.Run(pkgs, []*analysis.Analyzer{dummy})
+
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.String())
+	}
+	joined := strings.Join(got, "\n")
+
+	if strings.Contains(joined, "FlaggedProperly") {
+		t.Errorf("reasoned waiver did not filter its finding:\n%s", joined)
+	}
+	if !strings.Contains(joined, "FlaggedBare") {
+		t.Errorf("bare waiver (missing reason) filtered a finding it must not:\n%s", joined)
+	}
+	if !strings.Contains(joined, "bare waiver") {
+		t.Errorf("bare waiver was not itself reported:\n%s", joined)
+	}
+	if !strings.Contains(joined, "FlaggedMalformed") {
+		t.Errorf("malformed waiver filtered a finding it must not:\n%s", joined)
+	}
+	if !strings.Contains(joined, "malformed waiver") {
+		t.Errorf("verb-less waiver was not reported as malformed:\n%s", joined)
+	}
+
+	// Audit mode reports the properly waived finding too.
+	audit := atest.Format(analysis.Audit(pkgs, []*analysis.Analyzer{dummy}))
+	if !strings.Contains(audit, "FlaggedProperly") {
+		t.Errorf("audit mode hid a waived finding:\n%s", audit)
+	}
+}
+
+// TestProgramFactMemoizes pins the whole-program fact store: one build per
+// key per Run, shared across passes.
+func TestProgramFactMemoizes(t *testing.T) {
+	prog := analysis.NewProgram(nil)
+	builds := 0
+	build := func() any { builds++; return builds }
+	if v := prog.Fact("k", build); v.(int) != 1 {
+		t.Fatalf("first Fact = %v, want 1", v)
+	}
+	if v := prog.Fact("k", build); v.(int) != 1 {
+		t.Fatalf("second Fact = %v, want memoized 1", v)
+	}
+	if builds != 1 {
+		t.Fatalf("build ran %d times, want 1", builds)
+	}
+	if v := prog.Fact("other", build); v.(int) != 2 {
+		t.Fatalf("distinct key Fact = %v, want 2", v)
+	}
+}

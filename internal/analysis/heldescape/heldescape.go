@@ -1,0 +1,133 @@
+// Package heldescape finds lock-protected state escaping its critical
+// section: a struct field that is written somewhere under that struct's own
+// lock, but read at a site where no lock is provably held. Such a read
+// races with the guarded writers — the classic "stats getter reads the
+// counters bare" bug — unless the call site is quiescent by construction,
+// which is exactly what the //lint:escape waiver is for.
+//
+// The analysis is built on the lockfacts world (interprocedural may-held
+// sets, cross-package) and is deliberately conservative about what counts
+// as lock-protected, to keep the signal clean:
+//
+//   - A write is guarded only when a held class belongs to the *same
+//     struct* as the field (the struct itself, "pkg.DB", or one of its
+//     fields, "pkg.DB.lock"). A field only ever written under some
+//     unrelated lock never qualifies, so its reads are never flagged.
+//   - A read is unguarded only when the may-held set is empty AND the
+//     enclosing function is not under-lock — reachable solely from call
+//     sites that hold a lock (lockfacts.World.UnderLock), the
+//     freezeLocked/compactLocked idiom.
+//   - Fields that carry their own synchronization (lockapi.Cell-bearing
+//     types, sync and sync/atomic values, lock types) are excluded upstream
+//     by lockfacts and never reported here; using an atomic is the
+//     sanctioned way to publish a counter out of a critical section.
+//
+// Findings are reported at the read site. Waive with
+// //lint:escape <verb> <reason>.
+package heldescape
+
+import (
+	"sort"
+	"strings"
+
+	"go/types"
+
+	"github.com/clof-go/clof/internal/analysis"
+	"github.com/clof-go/clof/internal/analysis/lockfacts"
+)
+
+// Analyzer is the heldescape analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "heldescape",
+	Tag:  "escape",
+	Doc:  "fields written under a lock must not be read with no lock held (and no atomic)",
+	Run:  run,
+}
+
+// fieldInfo summarizes one field's guarded-write evidence.
+type fieldInfo struct {
+	// guards are the same-struct classes held at guarded writes.
+	guards map[string]bool
+	// guardedWrites counts them.
+	guardedWrites int
+}
+
+func run(pass *analysis.Pass) {
+	w := lockfacts.For(pass)
+	summary := pass.Prog.Fact("heldescape/summary", func() any {
+		return summarize(w)
+	}).(map[*types.Var]*fieldInfo)
+
+	for i := range w.Accesses {
+		a := &w.Accesses[i]
+		if a.PkgPath != pass.Pkg.PkgPath || a.Write {
+			continue
+		}
+		fi := summary[a.Field]
+		if fi == nil || fi.guardedWrites == 0 {
+			continue
+		}
+		if len(a.Held) > 0 || w.UnderLock(a.Unit) {
+			continue
+		}
+		guards := make([]string, 0, len(fi.guards))
+		for g := range fi.guards {
+			guards = append(guards, shortClass(w, g))
+		}
+		sort.Strings(guards)
+		pass.Reportf(a.TokPos,
+			"lock-protected field escapes: %s.%s is written under %s but read here with no lock held (use the guard, an atomic, or //lint:escape for quiescent reads)",
+			a.OwnerShort, a.Field.Name(), strings.Join(guards, ", "))
+	}
+}
+
+func shortClass(w *lockfacts.World, key string) string {
+	if c := w.Classes[key]; c != nil {
+		return c.Short
+	}
+	return key
+}
+
+// summarize collects, per field, the writes guarded by a same-struct class
+// (directly held, or inherited through the under-lock closure).
+func summarize(w *lockfacts.World) map[*types.Var]*fieldInfo {
+	out := map[*types.Var]*fieldInfo{}
+	for i := range w.Accesses {
+		a := &w.Accesses[i]
+		if !a.Write {
+			continue
+		}
+		held := a.Held
+		if len(held) == 0 && w.UnderLock(a.Unit) {
+			held = w.GuardClasses(a.Unit)
+		}
+		var guards []string
+		for _, h := range held {
+			if sameStruct(h, a.OwnerKey) {
+				guards = append(guards, h)
+			}
+		}
+		if len(guards) == 0 {
+			continue
+		}
+		fi := out[a.Field]
+		if fi == nil {
+			fi = &fieldInfo{guards: map[string]bool{}}
+			out[a.Field] = fi
+		}
+		fi.guardedWrites++
+		for _, g := range guards {
+			fi.guards[g] = true
+		}
+	}
+	return out
+}
+
+// sameStruct reports whether class key guards fields of the struct named by
+// ownerKey: the class is the struct's own named type, or one of its fields.
+func sameStruct(classKey, ownerKey string) bool {
+	if ownerKey == "" {
+		return false
+	}
+	return classKey == ownerKey || strings.HasPrefix(classKey, ownerKey+".")
+}

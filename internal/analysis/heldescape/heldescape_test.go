@@ -1,0 +1,15 @@
+package heldescape
+
+import (
+	"testing"
+
+	"github.com/clof-go/clof/internal/analysis/atest"
+)
+
+func TestFlagged(t *testing.T) {
+	atest.Run(t, Analyzer, "escapes")
+}
+
+func TestClean(t *testing.T) {
+	atest.RunExpectClean(t, Analyzer, "escclean")
+}

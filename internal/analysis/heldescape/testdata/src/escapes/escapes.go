@@ -1,0 +1,33 @@
+// Package escapes is the positive heldescape fixture: Counter.n and
+// Counter.hi are written under Counter.mu, and the bare getters read them
+// with no lock held.
+package escapes
+
+import "sync"
+
+// Counter guards its fields with mu.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+	hi int
+}
+
+// Incr updates both fields under the lock.
+func (c *Counter) Incr() {
+	c.mu.Lock()
+	c.n++
+	if c.n > c.hi {
+		c.hi = c.n
+	}
+	c.mu.Unlock()
+}
+
+// Peek reads n bare: the seeded escape.
+func (c *Counter) Peek() int {
+	return c.n // want "lock-protected field escapes: escapes.Counter.n is written under escapes.Counter.mu but read here with no lock held"
+}
+
+// High reads hi bare, from a plain function rather than a method.
+func High(c *Counter) int {
+	return c.hi // want "lock-protected field escapes: escapes.Counter.hi is written under escapes.Counter.mu"
+}

@@ -1,0 +1,77 @@
+// Package escclean is the negative heldescape fixture: guarded reads,
+// helpers that are only called under the lock (the under-lock closure),
+// atomic fields, and fields never guarded by their own struct's lock must
+// all stay silent.
+package escclean
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Store guards data with mu and publishes hits through an atomic.
+type Store struct {
+	mu      sync.Mutex
+	data    int
+	hits    atomic.Uint64
+	scratch int
+}
+
+// Update writes data through a helper while holding the lock.
+func (s *Store) Update(v int) {
+	s.mu.Lock()
+	s.set(v)
+	s.mu.Unlock()
+	s.hits.Add(1)
+}
+
+// set is only ever called with s.mu held: the under-lock closure marks it
+// guarded even though its own may-held set is empty.
+func (s *Store) set(v int) {
+	s.data = v
+}
+
+// Get reads data under the lock.
+func (s *Store) Get() int {
+	s.mu.Lock()
+	v := s.data
+	s.mu.Unlock()
+	return v
+}
+
+// Hits reads the atomic bare — sanctioned: atomics are excluded.
+func (s *Store) Hits() uint64 {
+	return s.hits.Load()
+}
+
+// SetScratch writes scratch with no lock at all, so the field never
+// qualifies as lock-protected...
+func (s *Store) SetScratch(v int) {
+	s.scratch = v
+}
+
+// Scratch ...and its bare read is not a finding.
+func (s *Store) Scratch() int {
+	return s.scratch
+}
+
+// pkgMu is an unrelated package-level lock.
+var pkgMu sync.Mutex
+
+// Loose has no lock of its own.
+type Loose struct {
+	v int
+}
+
+// SetLoose writes under pkgMu — not a same-struct guard, so Loose.v does
+// not qualify as lock-protected.
+func SetLoose(l *Loose, v int) {
+	pkgMu.Lock()
+	l.v = v
+	pkgMu.Unlock()
+}
+
+// GetLoose reads bare; with no same-struct guarded write, no finding.
+func GetLoose(l *Loose) int {
+	return l.v
+}

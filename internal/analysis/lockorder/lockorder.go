@@ -1,0 +1,214 @@
+// Package lockorder is the static deadlock detector: it builds the
+// whole-module lock-acquisition-order graph from the lockfacts summaries
+// (nodes are lock classes, an edge A→B means some function acquired B while
+// holding A, possibly through a cross-package call chain) and reports
+//
+//  1. cycles — an edge whose target can reach its source back, including
+//     self-edges (a class acquired while an instance of the same class is
+//     held). A cycle is a potential ABBA deadlock: two threads traversing
+//     different edges of it can each hold one lock and await the other.
+//     Every cycle finding can be replayed dynamically via clof-lint -litmus,
+//     which emits an mcheck program whose exhaustive exploration exhibits
+//     the deadlock (see EmitLitmus).
+//  2. level inversions — an edge from a class declared (via //lock:level)
+//     at a higher CLoF topology level to one declared lower. The CLoF climb
+//     acquires low levels before high (paper §3.1: leaf to root), so a
+//     high→low edge breaks composition with every lock that follows the
+//     contract, even if no cycle exists yet within the analyzed module.
+//
+// Findings are reported at the edge site in whichever package contains it,
+// with the call chain that makes the inner acquisition inevitable. Waive
+// with //lint:lockorder <verb> <reason> — the canonical legitimate case is
+// a strictly ordered climb within one class (clof's own hierarchy walk,
+// where parent acquisition is ordered by tree height).
+package lockorder
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+
+	"github.com/clof-go/clof/internal/analysis"
+	"github.com/clof-go/clof/internal/analysis/lockfacts"
+)
+
+// Analyzer is the lockorder analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Tag:  "lockorder",
+	Doc:  "lock acquisition order must be acyclic and respect declared CLoF levels",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) {
+	w := lockfacts.For(pass)
+	adj := adjacency(w)
+	for i := range w.Edges {
+		e := &w.Edges[i]
+		if e.PkgPath != pass.Pkg.PkgPath {
+			continue
+		}
+		if e.From.Key == e.To.Key {
+			pass.Reportf(e.SitePos,
+				"lock-order cycle: %s is acquired while an instance of %s is already held (self-deadlock if the two holders can interleave)%s",
+				e.To.Short, e.From.Short, chainSuffix(e))
+		} else if back := path(adj, e.To.Key, e.From.Key); back != nil {
+			pass.Reportf(e.SitePos,
+				"lock-order cycle: %s: acquiring %s while holding %s closes the cycle (potential ABBA deadlock; rerun with -litmus for an mcheck witness)%s",
+				renderCycle(w, e.From.Key, back), e.To.Short, e.From.Short, chainSuffix(e))
+		}
+		if e.From.HasLevel && e.To.HasLevel && e.To.Level < e.From.Level {
+			pass.Reportf(e.SitePos,
+				"level inversion: acquires %s (level %s) while holding %s (level %s); the CLoF climb takes low levels before high%s",
+				e.To.Short, e.To.Level, e.From.Short, e.From.Level, chainSuffix(e))
+		}
+	}
+}
+
+// chainSuffix renders the cross-package call chain when the acquisition is
+// transitive (chain length 1 is just the enclosing function).
+func chainSuffix(e *lockfacts.Edge) string {
+	if len(e.Chain) <= 1 {
+		return ""
+	}
+	return " (call chain " + strings.Join(e.Chain, " -> ") + ")"
+}
+
+// adjacency builds the class-key successor map, successors sorted for
+// deterministic traversal.
+func adjacency(w *lockfacts.World) map[string][]string {
+	set := map[string]map[string]bool{}
+	for i := range w.Edges {
+		e := &w.Edges[i]
+		if set[e.From.Key] == nil {
+			set[e.From.Key] = map[string]bool{}
+		}
+		set[e.From.Key][e.To.Key] = true
+	}
+	adj := make(map[string][]string, len(set))
+	for from, tos := range set {
+		for to := range tos {
+			adj[from] = append(adj[from], to)
+		}
+		sort.Strings(adj[from])
+	}
+	return adj
+}
+
+// path returns the shortest class-key path from src to dst (inclusive on
+// both ends; BFS, deterministic), or nil if dst is unreachable.
+func path(adj map[string][]string, src, dst string) []string {
+	if src == dst {
+		return []string{src}
+	}
+	prev := map[string]string{src: ""}
+	queue := []string{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range adj[cur] {
+			if _, seen := prev[next]; seen {
+				continue
+			}
+			prev[next] = cur
+			if next == dst {
+				var p []string
+				for n := dst; n != ""; n = prev[n] {
+					p = append(p, n)
+				}
+				for i, j := 0, len(p)-1; i < j; i, j = i+1, j-1 {
+					p[i], p[j] = p[j], p[i]
+				}
+				return p
+			}
+			queue = append(queue, next)
+		}
+	}
+	return nil
+}
+
+// renderCycle renders "A -> B -> ... -> A" in Short form: from, then the
+// back-path (which starts at the edge target and ends at from).
+func renderCycle(w *lockfacts.World, fromKey string, back []string) string {
+	short := func(key string) string {
+		if c := w.Classes[key]; c != nil {
+			return c.Short
+		}
+		return key
+	}
+	parts := []string{short(fromKey)}
+	for _, k := range back {
+		parts = append(parts, short(k))
+	}
+	return strings.Join(parts, " -> ")
+}
+
+// Cycle is one elementary acquisition-order cycle, for the -litmus bridge.
+type Cycle struct {
+	// Keys are the class keys in acquisition order; the cycle closes from
+	// the last back to the first. A self-edge yields length 1.
+	Keys []string
+	// Shorts are the diagnostic names, parallel to Keys.
+	Shorts []string
+	// Sites are the positions of every edge that closes this cycle — the
+	// same positions the analyzer reports at. The -litmus emitter uses them
+	// to honor waivers: a cycle whose closing edges are all waived is a
+	// triaged non-finding and gets no witness program.
+	Sites []token.Pos
+}
+
+// Cycles enumerates the distinct cycles in the world's acquisition graph,
+// one per canonical rotation (lexicographically smallest key first), sorted.
+// Each reported lock-order cycle finding corresponds to one of these.
+func Cycles(w *lockfacts.World) []Cycle {
+	adj := adjacency(w)
+	seen := map[string]int{}
+	var out []Cycle
+	add := func(keys []string, site token.Pos) {
+		keys = canonical(keys)
+		id := strings.Join(keys, "\x00")
+		if idx, dup := seen[id]; dup {
+			out[idx].Sites = append(out[idx].Sites, site)
+			return
+		}
+		seen[id] = len(out)
+		c := Cycle{Keys: keys, Sites: []token.Pos{site}}
+		for _, k := range keys {
+			short := k
+			if cl := w.Classes[k]; cl != nil {
+				short = cl.Short
+			}
+			c.Shorts = append(c.Shorts, short)
+		}
+		out = append(out, c)
+	}
+	for i := range w.Edges {
+		e := &w.Edges[i]
+		if e.From.Key == e.To.Key {
+			add([]string{e.From.Key}, e.SitePos)
+		} else if back := path(adj, e.To.Key, e.From.Key); back != nil {
+			// back = [To ... From]; the cycle is [From, To, ...] without the
+			// duplicated From terminus.
+			add(append([]string{e.From.Key}, back[:len(back)-1]...), e.SitePos)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i].Keys, "\x00") < strings.Join(out[j].Keys, "\x00")
+	})
+	return out
+}
+
+// canonical rotates keys so the lexicographically smallest element is
+// first, making rotations of one cycle compare equal.
+func canonical(keys []string) []string {
+	best := 0
+	for i := range keys {
+		if keys[i] < keys[best] {
+			best = i
+		}
+	}
+	out := make([]string, 0, len(keys))
+	out = append(out, keys[best:]...)
+	out = append(out, keys[:best]...)
+	return out
+}

@@ -1,0 +1,75 @@
+package lockorder
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"github.com/clof-go/clof/internal/analysis"
+	"github.com/clof-go/clof/internal/analysis/atest"
+	"github.com/clof-go/clof/internal/analysis/lockfacts"
+)
+
+func TestFlagged(t *testing.T) {
+	atest.Run(t, Analyzer, "abba", "abbalocks", "levelinv", "selfnest")
+}
+
+func TestClean(t *testing.T) {
+	atest.RunExpectClean(t, Analyzer, "dagclean")
+}
+
+// TestCyclesAndEmit pins the litmus bridge's static half: the ABBA fixture
+// yields exactly one canonical cycle, and its emitted program is
+// syntactically valid Go wired to mcheck.DeadlockProgram with the rotated
+// chains.
+func TestCyclesAndEmit(t *testing.T) {
+	pkgs := atest.Load(t, "abba", "abbalocks")
+	w := lockfacts.Build(analysis.NewProgram(pkgs))
+
+	cycles := Cycles(w)
+	if len(cycles) != 1 {
+		t.Fatalf("Cycles = %d, want 1: %+v", len(cycles), cycles)
+	}
+	c := cycles[0]
+	if len(c.Keys) != 2 || c.Keys[0] != "fix/abbalocks.MuA" || c.Keys[1] != "fix/abbalocks.MuB" {
+		t.Fatalf("cycle keys = %v", c.Keys)
+	}
+
+	chains := c.Chains()
+	if len(chains) != 2 || chains[0][0] != chains[1][1] || chains[0][1] != chains[1][0] {
+		t.Fatalf("chains are not a 2-rotation: %v", chains)
+	}
+
+	name, src := EmitLitmus(c, "example.com/mod")
+	if !strings.HasSuffix(name, ".go") {
+		t.Fatalf("EmitLitmus name = %q", name)
+	}
+	for _, want := range []string{
+		"mcheck.DeadlockProgram",
+		`"example.com/mod/internal/mcheck"`,
+		"//go:build ignore",
+		`"abbalocks.MuA", "abbalocks.MuB"`,
+		`"abbalocks.MuB", "abbalocks.MuA"`,
+	} {
+		if !strings.Contains(string(src), want) {
+			t.Errorf("emitted program missing %q:\n%s", want, src)
+		}
+	}
+	if _, err := parser.ParseFile(token.NewFileSet(), name, src, 0); err != nil {
+		t.Fatalf("emitted program does not parse: %v\n%s", err, src)
+	}
+}
+
+// TestSelfCycleChains pins the two-instance rendering of a self-edge.
+func TestSelfCycleChains(t *testing.T) {
+	c := Cycle{Keys: []string{"p.Node.mu"}, Shorts: []string{"p.Node.mu"}}
+	chains := c.Chains()
+	if len(chains) != 2 {
+		t.Fatalf("chains = %v", chains)
+	}
+	if chains[0][0] != "p.Node.mu#0" || chains[0][1] != "p.Node.mu#1" ||
+		chains[1][0] != "p.Node.mu#1" || chains[1][1] != "p.Node.mu#0" {
+		t.Fatalf("self-cycle chains = %v", chains)
+	}
+}

@@ -1,0 +1,23 @@
+// Package abba is the seeded cross-package ABBA deadlock: Forward takes
+// A then B (B through a helper in the abbalocks package, so the edge only
+// exists interprocedurally), Backward takes B then A. Both edge sites must
+// be reported, the Forward one with its cross-package call chain.
+package abba
+
+import "fix/abbalocks"
+
+// Forward holds A while the abbalocks helper acquires B.
+func Forward() {
+	abbalocks.MuA.Lock()
+	abbalocks.LockB() // want "lock-order cycle: abbalocks.MuA -> abbalocks.MuB -> abbalocks.MuA: acquiring abbalocks.MuB while holding abbalocks.MuA closes the cycle (potential ABBA deadlock; rerun with -litmus for an mcheck witness) (call chain abba.Forward -> abbalocks.LockB)"
+	abbalocks.UnlockB()
+	abbalocks.MuA.Unlock()
+}
+
+// Backward holds B while acquiring A: the reverse edge.
+func Backward() {
+	abbalocks.MuB.Lock()
+	abbalocks.MuA.Lock() // want "lock-order cycle: abbalocks.MuB -> abbalocks.MuA -> abbalocks.MuB: acquiring abbalocks.MuA while holding abbalocks.MuB closes the cycle"
+	abbalocks.MuA.Unlock()
+	abbalocks.MuB.Unlock()
+}

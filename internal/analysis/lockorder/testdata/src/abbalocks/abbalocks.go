@@ -1,0 +1,23 @@
+// Package abbalocks declares the two locks of the cross-package ABBA
+// fixture, plus helpers so one direction of the cycle is only visible
+// through an interprocedural, cross-package call chain.
+package abbalocks
+
+import "sync"
+
+// MuA is one of the two locks of the seeded ABBA cycle.
+var MuA sync.Mutex
+
+// MuB is the other.
+var MuB sync.Mutex
+
+// LockB acquires MuB on behalf of callers in other packages; whatever they
+// hold at the call site is held across this acquisition.
+func LockB() {
+	MuB.Lock()
+}
+
+// UnlockB releases MuB for LockB callers.
+func UnlockB() {
+	MuB.Unlock()
+}

@@ -1,0 +1,47 @@
+// Package dagclean is the negative fixture for lockorder: every function
+// acquires the two locks in the same order (and one through a helper), so
+// the acquisition graph is a DAG and nothing is reported.
+package dagclean
+
+import "sync"
+
+// MuA is always taken before MuB.
+var MuA sync.Mutex
+
+// MuB is the inner lock.
+var MuB sync.Mutex
+
+// LockInner is a cross-function acquisition of the inner lock; lockorder
+// must see through it without inventing a reverse edge.
+func LockInner() {
+	MuB.Lock()
+}
+
+// UnlockInner releases the inner lock for callers of LockInner.
+func UnlockInner() {
+	MuB.Unlock()
+}
+
+// Nested takes the locks in the canonical order directly.
+func Nested() {
+	MuA.Lock()
+	MuB.Lock()
+	MuB.Unlock()
+	MuA.Unlock()
+}
+
+// NestedViaHelper takes the same order through the helper pair.
+func NestedViaHelper() {
+	MuA.Lock()
+	LockInner()
+	UnlockInner()
+	MuA.Unlock()
+}
+
+// Sequential holds the locks one at a time: no edge at all.
+func Sequential() {
+	MuB.Lock()
+	MuB.Unlock()
+	MuA.Lock()
+	MuA.Unlock()
+}

@@ -1,0 +1,38 @@
+// Package levelinv seeds a CLoF level inversion without a cycle: the
+// declared levels put the leaf locks at cache-group and the socket lock at
+// package, Climb respects the low-before-high order, and Descend inverts
+// it against a second leaf (a distinct class, so no A→B/B→A pair forms).
+package levelinv
+
+import "sync"
+
+// MuLeafA is a per-cache-group lock.
+//
+//lock:level cache-group
+var MuLeafA sync.Mutex
+
+// MuLeafB is another per-cache-group lock.
+//
+//lock:level cache-group
+var MuLeafB sync.Mutex
+
+// MuSocket is the per-package (socket) lock.
+//
+//lock:level package
+var MuSocket sync.Mutex
+
+// Climb follows the CLoF order: leaf before socket.
+func Climb() {
+	MuLeafA.Lock()
+	MuSocket.Lock()
+	MuSocket.Unlock()
+	MuLeafA.Unlock()
+}
+
+// Descend acquires a leaf while holding the socket lock: the inversion.
+func Descend() {
+	MuSocket.Lock()
+	MuLeafB.Lock() // want "level inversion: acquires levelinv.MuLeafB (level cache-group) while holding levelinv.MuSocket (level package)"
+	MuLeafB.Unlock()
+	MuSocket.Unlock()
+}

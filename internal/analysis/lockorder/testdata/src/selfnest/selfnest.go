@@ -1,0 +1,27 @@
+// Package selfnest seeds the self-edge shape: a tree node's lock class is
+// acquired again (on the parent node) while a child's instance of the same
+// class is held. Per-class analysis cannot order instances, so this is
+// reported as a potential self-deadlock — the finding clof's own hierarchy
+// climb waives with its strictly-ascending argument.
+package selfnest
+
+import "sync"
+
+// Node is a tree node guarding itself with mu.
+type Node struct {
+	mu     sync.Mutex
+	parent *Node
+	count  int
+}
+
+// ClimbLocked locks the node, then its parent: a nested same-class
+// acquisition.
+func (n *Node) ClimbLocked() {
+	n.mu.Lock()
+	if n.parent != nil {
+		n.parent.mu.Lock() // want "lock-order cycle: selfnest.Node.mu is acquired while an instance of selfnest.Node.mu is already held"
+		n.parent.count++
+		n.parent.mu.Unlock()
+	}
+	n.mu.Unlock()
+}

@@ -1,0 +1,75 @@
+package mcheck
+
+import (
+	"sort"
+
+	"github.com/clof-go/clof/internal/lockapi"
+)
+
+// DeadlockProgram builds the dynamic witness for a statically detected
+// lock-order cycle (the clof-lint -litmus bridge): one thread per chain,
+// where thread i acquires the locks named in chains[i] in order and releases
+// them in reverse. Locks are plain TAS spinlocks keyed by name, shared
+// across chains. For chains generated from a k-class cycle — thread i takes
+// cycle[i] then cycle[(i+1) mod k] — exhaustive exploration must reach the
+// state where every thread holds its first lock and awaits its second, and
+// report it as a deadlock; for acyclic chains the check passes.
+func DeadlockProgram(name string, chains [][]string) Program {
+	// Deterministic cell allocation order (map iteration would not change
+	// the verdict, but keeps traces reproducible).
+	var lockNames []string
+	seen := map[string]bool{}
+	for _, ch := range chains {
+		for _, n := range ch {
+			if !seen[n] {
+				seen[n] = true
+				lockNames = append(lockNames, n)
+			}
+		}
+	}
+	sort.Strings(lockNames)
+	return Program{
+		Name: name,
+		Make: func() []func(p *Proc) {
+			cells := map[string]*lockapi.Cell{}
+			for _, n := range lockNames {
+				cells[n] = &lockapi.Cell{}
+			}
+			bodies := make([]func(p *Proc), len(chains))
+			for i, ch := range chains {
+				locks := make([]*lockapi.Cell, len(ch))
+				for j, n := range ch {
+					locks[j] = cells[n]
+				}
+				bodies[i] = func(p *Proc) {
+					for _, c := range locks {
+						tasLock(p, c)
+					}
+					for j := len(locks) - 1; j >= 0; j-- {
+						tasUnlock(p, locks[j])
+					}
+				}
+			}
+			return bodies
+		},
+	}
+}
+
+// tasLock is a minimal test-and-set acquire. A plain function, not a lock
+// type: the litmus program models only the acquisition ORDER of the cycle
+// under test, and a deliberately tiny primitive keeps the product state
+// space small. The failed-CAS path Spins, so a lock that is never released
+// parks the thread in an await — which is what lets the checker call the
+// stuck state a deadlock instead of exploring the poll loop forever.
+func tasLock(p *Proc, c *lockapi.Cell) {
+	for {
+		if p.Load(c, lockapi.Acquire) == 0 && p.CAS(c, 0, 1, lockapi.Acquire) {
+			return
+		}
+		p.Spin()
+	}
+}
+
+func tasUnlock(p *Proc, c *lockapi.Cell) {
+	p.Store(c, 0, lockapi.Release)
+}

@@ -1,0 +1,42 @@
+package mcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDeadlockProgramABBA pins the litmus-bridge contract: the canonical
+// two-lock inversion must surface as a deadlock, and the aligned-order
+// control must not.
+func TestDeadlockProgramABBA(t *testing.T) {
+	res := Check(DeadlockProgram("abba", [][]string{{"a", "b"}, {"b", "a"}}), Config{Mode: SC})
+	if !strings.Contains(res.Violation, "deadlock") {
+		t.Fatalf("ABBA chains: violation = %q, want a deadlock", res.Violation)
+	}
+
+	ctrl := Check(DeadlockProgram("aligned", [][]string{{"a", "b"}, {"a", "b"}}), Config{Mode: SC})
+	if !ctrl.OK {
+		t.Fatalf("aligned chains: violation = %q, want none", ctrl.Violation)
+	}
+}
+
+// TestDeadlockProgramSelfCycle covers the self-edge shape: a class nested
+// inside itself is rendered as two instances taken in opposite orders.
+func TestDeadlockProgramSelfCycle(t *testing.T) {
+	res := Check(DeadlockProgram("self", [][]string{
+		{"c#0", "c#1"}, {"c#1", "c#0"},
+	}), Config{Mode: SC})
+	if !strings.Contains(res.Violation, "deadlock") {
+		t.Fatalf("self-cycle chains: violation = %q, want a deadlock", res.Violation)
+	}
+}
+
+// TestDeadlockProgramThreeCycle exercises a k=3 rotation.
+func TestDeadlockProgramThreeCycle(t *testing.T) {
+	res := Check(DeadlockProgram("ring3", [][]string{
+		{"a", "b"}, {"b", "c"}, {"c", "a"},
+	}), Config{Mode: SC})
+	if !strings.Contains(res.Violation, "deadlock") {
+		t.Fatalf("3-cycle chains: violation = %q, want a deadlock", res.Violation)
+	}
+}
