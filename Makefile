@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint lint-report lint-litmus doccheck check chaos figures figures-quick collapse-quick bench bench-smoke
+.PHONY: build test lint lint-report lint-litmus doccheck check chaos figures figures-quick collapse-quick kv-quick bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -62,6 +62,14 @@ figures-quick:
 # full-scale curves are figures-out/collapse-*.csv.
 collapse-quick:
 	$(GO) run ./cmd/clof-figures -exp collapse -quick -j 0 -out figures-out/collapse-quick
+
+# Sharded-serving smoke: the shards x lock family x mix sweep (internal/store,
+# EXPERIMENTS.md "Sharded serving") at reduced scale, into its own artifact
+# directory. CI uploads the CSVs + results.json (per-shard contention blocks
+# ride each point's obs field); the committed full-scale curves are
+# figures-out/kv-*.csv.
+kv-quick:
+	$(GO) run ./cmd/clof-figures -exp kv -quick -j 0 -out figures-out/kv-quick
 
 # Simulator throughput baseline: runs the canonical memsim scenarios
 # (~300ms each) and records host-side simops/s into BENCH_baseline.json.

@@ -13,7 +13,12 @@
 // Usage:
 //
 //	clof-bench [-platform x86|armv8] [-hier FILE] [-levels 3|4] [-threads CSV]
+//	           [-workload leveldb|kv] [-shards N] [-mix NAME]
 //	           [-runs N] [-seed N] [-j N] [-out FILE] [-preselect K] [-v]
+//
+// -workload kv scores each composition as the per-shard lock of the sharded
+// serving engine (internal/store's simulator model) instead of the global
+// LevelDB lock: -shards shards, the -mix operation mix, Zipfian keys.
 package main
 
 import (
@@ -29,6 +34,7 @@ import (
 	"github.com/clof-go/clof/internal/lockapi"
 	"github.com/clof-go/clof/internal/locks"
 	"github.com/clof-go/clof/internal/prof"
+	"github.com/clof-go/clof/internal/store"
 	"github.com/clof-go/clof/internal/topo"
 	"github.com/clof-go/clof/internal/workload"
 )
@@ -38,6 +44,9 @@ func main() {
 	hierFile := flag.String("hier", "", "hierarchy configuration file (from clof-hier); overrides -platform/-levels")
 	levels := flag.Int("levels", 4, "hierarchy depth when no -hier file is given (3 or 4)")
 	threadsCSV := flag.String("threads", "", "comma-separated contention grid (default: the paper's grid)")
+	workloadFlag := flag.String("workload", "leveldb", "measurement workload: leveldb (§4.3) or kv (sharded serving)")
+	shards := flag.Int("shards", 8, "shard count for -workload kv")
+	mixFlag := flag.String("mix", "read-mostly", "operation mix for -workload kv: read-mostly, write-heavy, rmw, scan")
 	runs := flag.Int("runs", 1, "runs per measurement point (median)")
 	seed := flag.Uint64("seed", 0, "base seed; per-point seeds derive from it by stable hashing")
 	jobs := flag.Int("j", 0, "parallel grid points (0 = GOMAXPROCS); output is identical at any level")
@@ -99,15 +108,58 @@ func main() {
 	}
 	fmt.Printf("scripted benchmark: %s, %d compositions, grid %v\n", h, len(comps), grid)
 
+	// measure runs one (composition, threads) point under the selected
+	// workload and converts the result to an engine sample.
+	var measure func(comp clof.Composition, n int, seed uint64) exp.Sample
+	notes := "scripted benchmark (§4.3)"
+	switch *workloadFlag {
+	case "leveldb":
+		measure = func(comp clof.Composition, n int, seed uint64) exp.Sample {
+			cfg := workload.LevelDB(m, n)
+			cfg.Seed = seed
+			res, err := workload.Run(func() lockapi.Lock { return clof.Must(h, comp) }, cfg)
+			if err != nil {
+				return exp.Sample{Err: err.Error()}
+			}
+			return exp.Sample{Throughput: res.ThroughputOpsPerUs(), Jain: res.Jain(), Total: res.Total}
+		}
+	case "kv":
+		var mix store.Mix
+		for _, mx := range store.Mixes() {
+			if mx.Name == *mixFlag {
+				mix = mx
+			}
+		}
+		if mix.Name == "" {
+			fatal(fmt.Errorf("unknown mix %q (known: read-mostly, write-heavy, rmw, scan)", *mixFlag))
+		}
+		notes = fmt.Sprintf("scripted benchmark, sharded serving: %d shards, mix %s, zipfian keys", *shards, mix.Name)
+		measure = func(comp clof.Composition, n int, seed uint64) exp.Sample {
+			res, err := workload.RunKV(workload.KVConfig{
+				Machine: m, Threads: n, Shards: *shards,
+				NewShardLock: func() lockapi.Lock { return clof.Must(h, comp) },
+				Horizon:      300_000, // the scripted benchmark's horizon
+				Mix:          mix, Dist: store.DistZipfian,
+				Seed: seed,
+			})
+			if err != nil {
+				return exp.Sample{Err: err.Error()}
+			}
+			return exp.Sample{Throughput: res.ThroughputOpsPerUs(), Jain: res.Jain(), Total: res.Total}
+		}
+	default:
+		fatal(fmt.Errorf("unknown workload %q (known: leveldb, kv)", *workloadFlag))
+	}
+
 	spec := exp.Spec{
 		Name:      "bench",
 		Platform:  m.Arch.String(),
 		Hierarchy: h.String(),
-		Workload:  "leveldb",
+		Workload:  *workloadFlag,
 		Threads:   grid,
 		Runs:      *runs,
 		Seed:      *seed,
-		Notes:     "scripted benchmark (§4.3)",
+		Notes:     notes,
 	}
 	for _, comp := range comps {
 		spec.Locks = append(spec.Locks, comp.String())
@@ -119,15 +171,7 @@ func main() {
 			comp, n := comp, n
 			points = append(points, exp.Point{
 				Key: fmt.Sprintf("comp=%s/threads=%d", comp, n),
-				Run: func(s uint64) exp.Sample {
-					cfg := workload.LevelDB(m, n)
-					cfg.Seed = s
-					res, err := workload.Run(func() lockapi.Lock { return clof.Must(h, comp) }, cfg)
-					if err != nil {
-						return exp.Sample{Err: err.Error()}
-					}
-					return exp.Sample{Throughput: res.ThroughputOpsPerUs(), Jain: res.Jain(), Total: res.Total}
-				},
+				Run: func(s uint64) exp.Sample { return measure(comp, n, s) },
 			})
 		}
 	}

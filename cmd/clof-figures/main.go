@@ -91,6 +91,11 @@ var registry = []experiment{
 			c.emit(f)
 		}
 	}},
+	{"kv", func(c *expCtx) {
+		for _, f := range figures.KV(c.o) {
+			c.emit(f)
+		}
+	}},
 	{"verify", func(c *expCtx) {
 		fmt.Println("verification table (see also cmd/clof-verify):")
 		for _, r := range figures.VerificationTable(c.o) {

@@ -23,6 +23,7 @@ import (
 	"github.com/clof-go/clof/internal/hmcs"
 	"github.com/clof-go/clof/internal/lockapi"
 	"github.com/clof-go/clof/internal/locks"
+	"github.com/clof-go/clof/internal/rwlock"
 	"github.com/clof-go/clof/internal/shfllock"
 	"github.com/clof-go/clof/internal/topo"
 )
@@ -34,7 +35,7 @@ type Entry struct {
 	// "clof:tkt-clh-tkt-tkt".
 	Name string
 	// Family groups entries for filtering: "basic", "hbo", "cna", "shfl",
-	// "hmcs", "cohort", "clof".
+	// "rwlock", "hmcs", "cohort", "clof", "cr".
 	Family string
 	// New builds a fresh, unheld instance for machine m.
 	New func(m *topo.Machine) lockapi.Lock
@@ -76,6 +77,13 @@ func Locks() []Entry {
 		Entry{Name: "hbo", Family: "hbo", New: func(m *topo.Machine) lockapi.Lock { return locks.NewHBO(m) }},
 		Entry{Name: "cna", Family: "cna", New: func(m *topo.Machine) lockapi.Lock { return cna.New(m) }},
 		Entry{Name: "shfllock", Family: "shfl", New: func(m *topo.Machine) lockapi.Lock { return shfllock.New(m) }},
+		// The NUMA-aware reader-writer lock, adapted to the Lock interface:
+		// its exclusive path is a proper mutex (writers through MCS, then
+		// reader drain), and it additionally satisfies lockapi.RWLocker, so
+		// the sharded store's read paths take shared acquisitions on it.
+		Entry{Name: "rwlock", Family: "rwlock", New: func(m *topo.Machine) lockapi.Lock {
+			return rwlock.Adapt(rwlock.New(m, topo.CacheGroup, locks.NewMCS()))
+		}},
 	)
 	// Hierarchical baselines and CLoF compositions.
 	out = append(out,

@@ -1,0 +1,206 @@
+package figures
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/clof-go/clof/internal/catalog"
+	"github.com/clof-go/clof/internal/exp"
+	"github.com/clof-go/clof/internal/lockapi"
+	"github.com/clof-go/clof/internal/obs"
+	"github.com/clof-go/clof/internal/store"
+	"github.com/clof-go/clof/internal/topo"
+	"github.com/clof-go/clof/internal/workload"
+)
+
+// Geometry of the sharded-serving experiment, shared with its tests.
+const (
+	// kvHorizonNS is the virtual run length. Two milliseconds at ~3µs per
+	// iteration gives every grid point hundreds of completed operations per
+	// thread, enough to resolve the shard-scaling shapes.
+	kvHorizonNS = 2_000_000
+	// KVThreads is the fixed serving thread count: enough contention that a
+	// single global lock is the bottleneck, well under the x86 platform's 96
+	// hardware threads so placement stays dense.
+	KVThreads = 32
+	// kvKeys is the synthetic keyspace size.
+	kvKeys = 4096
+)
+
+// KVShards is the shard grid — the x-axis of every kv figure. 1 shard is the
+// pre-refactor engine: one global lock.
+var KVShards = []int{1, 2, 4, 8, 16}
+
+// KVLocks names the catalog entries swept as shard locks: the plain spinlock
+// baselines, the reader-writer adapter (shared fast path for the read-heavy
+// mixes), the full CLoF composition, and the concurrency-restricted ticket
+// lock.
+var KVLocks = []string{"tkt", "mcs", "rwlock", "clof:tkt-tkt-tkt-tkt", "cr:tkt"}
+
+// KV measures the sharded serving engine (internal/store, DESIGN.md S32) on
+// the simulator: one figure per YCSB-style mix, throughput over shard count
+// for each lock family, at a fixed KVThreads serving threads on the x86
+// platform. Keys are drawn Zipfian (theta 0.99, hot ranks hash-scattered as
+// in YCSB) and routed by hash partition, except the scan mix, which runs
+// range-partitioned so merged scans visit consecutive shards the way the
+// native store's range router does. Every point attaches a shard-resolved
+// obs report (obs.CombineShards) to its manifest record, so results.json
+// carries per-shard acquisition counts, hold times, and fairness alongside
+// the curves. The headline note — and TestKVQuick's assertion — is the
+// refactor's acceptance criterion: sharded rwlock beats the single global
+// lock on the read-mostly mix.
+func KV(o Options) []*Figure {
+	mach := topo.X86Server()
+	grid := KVShards
+	horizon := int64(kvHorizonNS)
+	if o.Quick {
+		grid = []int{1, 4, 16}
+		horizon /= 2
+	}
+
+	var figs []*Figure
+	for _, mix := range store.Mixes() {
+		mix := mix
+		dist, rangePart := store.DistZipfian, false
+		if mix.ScanPct > 0 {
+			dist, rangePart = store.DistUniform, true
+		}
+		f := &Figure{
+			ID: "kv-" + mix.Name,
+			Title: fmt.Sprintf("sharded serving on %s, mix %s (%s keys, %d threads)",
+				mach.Name, mix.Name, dist, KVThreads),
+			XLabel: "shards",
+			YLabel: "iter/us",
+		}
+		spec := exp.Spec{
+			Name: f.ID, Platform: "x86", Workload: "kv",
+			Threads: []int{KVThreads}, Runs: o.Runs, Quick: o.Quick,
+			Locks: KVLocks,
+			Notes: fmt.Sprintf("shard grid %v; dist=%s range=%v; horizon=%dns; keys=%d",
+				grid, dist, rangePart, horizon, kvKeys),
+		}
+		var points []exp.Point
+		for _, name := range KVLocks {
+			e, err := catalog.Lookup(name)
+			if err != nil {
+				panic(err)
+			}
+			for _, s := range grid {
+				e, s := e, s
+				points = append(points, exp.Point{
+					Key: fmt.Sprintf("lock=%s/shards=%d", e.Name, s),
+					Run: func(seed uint64) exp.Sample {
+						collectors := make([]*obs.Collector, s)
+						for i := range collectors {
+							collectors[i] = obs.NewCollector(mach, obs.Options{})
+						}
+						res, err := workload.RunKV(workload.KVConfig{
+							Machine: mach, Threads: KVThreads, Shards: s,
+							NewShardLock:   func() lockapi.Lock { return e.New(mach) },
+							Horizon:        horizon,
+							Mix:            mix,
+							Dist:           dist,
+							RangePartition: rangePart,
+							Keys:           kvKeys,
+							Seed:           seed,
+							Observer:       func(i int) lockapi.Observer { return collectors[i] },
+						})
+						if err != nil {
+							return exp.Sample{Err: err.Error()}
+						}
+						rep := obs.CombineShards(e.Name, collectors, res.SharedPerShard)
+						raw, err := json.Marshal(rep)
+						if err != nil {
+							return exp.Sample{Err: err.Error()}
+						}
+						return exp.Sample{
+							Throughput: res.ThroughputOpsPerUs(),
+							Jain:       res.Jain(),
+							Total:      res.Total,
+							Metrics:    kvMetrics(res),
+							Obs:        raw,
+						}
+					},
+				})
+			}
+		}
+		results := o.runner().Run(spec, points)
+
+		i := 0
+		violations := 0.0
+		for _, name := range KVLocks {
+			s := Series{Name: name}
+			for _, n := range grid {
+				r := results[i]
+				i++
+				s.X = append(s.X, n)
+				s.Y = append(s.Y, r.Throughput())
+				violations += r.Metrics["violations"]
+			}
+			f.Series = append(f.Series, s)
+		}
+		f.Notes = append(f.Notes, kvNotes(f, grid, violations)...)
+		figs = append(figs, f)
+	}
+	return figs
+}
+
+// kvMetrics extracts the per-point scalars recorded in the manifest: the
+// exclusion/shared invariant tally (must be 0), the shared-mode share of all
+// shard acquisitions, and the hot shard's fraction of them (attribution skew;
+// 1/shards would be a perfectly even split).
+func kvMetrics(res workload.KVResult) map[string]float64 {
+	var acq, shared, hot uint64
+	for i, c := range res.PerShard {
+		acq += c
+		shared += res.SharedPerShard[i]
+		if c > hot {
+			hot = c
+		}
+	}
+	m := map[string]float64{
+		"violations": float64(res.ExclusionViolations + res.SharedViolations),
+	}
+	if acq > 0 {
+		m["shared_frac"] = float64(shared) / float64(acq)
+		m["hot_shard_frac"] = float64(hot) / float64(acq)
+	}
+	return m
+}
+
+// KVSpeedup returns f's throughput ratio of lock at the grid's largest shard
+// count over the single-shard (global lock) baseline series — the "what did
+// sharding buy" measure. Zero when either series is absent or degenerate.
+func KVSpeedup(f *Figure, lock, baseline string, grid []int) float64 {
+	s, ok1 := f.Get(lock)
+	b, ok2 := f.Get(baseline)
+	if !ok1 || !ok2 {
+		return 0
+	}
+	max := grid[len(grid)-1]
+	if b.At(1) == 0 {
+		return 0
+	}
+	return s.At(max) / b.At(1)
+}
+
+// kvNotes derives the figure's observations: each lock's scaling from 1 shard
+// to the grid maximum, the acceptance-criterion headline (sharded rwlock vs
+// the 1-shard tkt global lock), and the invariant tally.
+func kvNotes(f *Figure, grid []int, violations float64) []string {
+	max := grid[len(grid)-1]
+	var notes []string
+	for _, s := range f.Series {
+		scale := 0.0
+		if s.At(1) > 0 {
+			scale = s.At(max) / s.At(1)
+		}
+		notes = append(notes, fmt.Sprintf("%s: %.4f at 1 shard, %.4f at %d shards (%.2fx)",
+			s.Name, s.At(1), s.At(max), max, scale))
+	}
+	notes = append(notes, fmt.Sprintf(
+		"sharded rwlock (%d shards) vs single global tkt lock: %.2fx",
+		max, KVSpeedup(f, "rwlock", "tkt", grid)))
+	notes = append(notes, fmt.Sprintf("exclusion/shared violations across the sweep: %.0f", violations))
+	return notes
+}

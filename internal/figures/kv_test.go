@@ -1,0 +1,49 @@
+package figures
+
+import "testing"
+
+// TestKVQuick asserts the sharded-serving refactor's acceptance criterion at
+// reduced scale: on the read-mostly mix, the sharded rwlock configuration
+// (shared fast path × per-shard locks) beats the single global ticket lock —
+// the pre-refactor engine — and the per-shard exclusion invariants hold
+// across every mix. The full-scale committed artifacts (figures-out/kv-*.csv)
+// record the same comparison in their notes.
+func TestKVQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-millisecond simulated horizons")
+	}
+	figs := KV(quick)
+	if len(figs) != 4 {
+		t.Fatalf("KV returned %d figures, want 4", len(figs))
+	}
+	grid := []int{1, 4, 16} // the Quick shard grid
+	for _, f := range figs {
+		for _, s := range f.Series {
+			for i, y := range s.Y {
+				if y <= 0 {
+					t.Errorf("%s %s: zero throughput at %d shards", f.ID, s.Name, s.X[i])
+				}
+			}
+		}
+		for _, n := range f.Notes {
+			t.Logf("%s note: %s", f.ID, n)
+		}
+	}
+
+	rm := figs[0]
+	if rm.ID != "kv-read-mostly" {
+		t.Fatalf("first figure is %s, want kv-read-mostly", rm.ID)
+	}
+	// The acceptance criterion: sharding the read-mostly store behind
+	// reader-writer shard locks must beat the single global spinlock. Quick
+	// mode halves the horizon, so assert a margin below the full-scale gap.
+	if sp := KVSpeedup(rm, "rwlock", "tkt", grid); sp < 1.2 {
+		t.Errorf("read-mostly sharded rwlock speedup %.2fx over global tkt, want >= 1.2x", sp)
+	}
+	// More shards must not lose throughput for the plain spinlock either:
+	// sharding splits the contention domain.
+	if tkt, ok := rm.Get("tkt"); !ok || tkt.At(16) <= tkt.At(1) {
+		t.Errorf("read-mostly tkt at 16 shards (%.4f) does not beat 1 shard (%.4f)",
+			tkt.At(16), tkt.At(1))
+	}
+}

@@ -2,8 +2,9 @@ package kvstore
 
 import (
 	"bytes"
-	"fmt"
 	"sort"
+	"strconv"
+	"sync/atomic"
 
 	"github.com/clof-go/clof/internal/lockapi"
 )
@@ -56,16 +57,12 @@ type DB struct {
 	mem  *skiplist
 	runs []*run // newest first
 
-	// stats
-	gets, puts, deletes, scans, compactions uint64
+	// Operation counters. Atomic so that read-only operations may run under
+	// a shared (reader) acquisition of the DB lock — the sharded store's
+	// rwlock fast path — without racing each other; mutating operations and
+	// StatsSnapshot still require the exclusive lock.
+	gets, puts, deletes, scans, compactions atomic.Uint64
 }
-
-// noopLock is the default single-threaded lock.
-type noopLock struct{}
-
-func (noopLock) NewCtx() lockapi.Ctx                   { return nil }
-func (noopLock) Acquire(p lockapi.Proc, _ lockapi.Ctx) {}
-func (noopLock) Release(p lockapi.Proc, _ lockapi.Ctx) {}
 
 // Open creates an empty DB.
 func Open(opts Options) *DB {
@@ -77,7 +74,7 @@ func Open(opts Options) *DB {
 	}
 	lock := opts.Lock
 	if lock == nil {
-		lock = noopLock{}
+		lock = lockapi.Noop{}
 	}
 	return &DB{opts: opts, lock: lock, mem: newSkiplist(opts.Seed)}
 }
@@ -99,7 +96,7 @@ func (db *DB) NewSession() *Session {
 func (s *Session) Put(p lockapi.Proc, key, value []byte) {
 	db := s.db
 	db.lock.Acquire(p, s.ctx)
-	db.puts++
+	db.puts.Add(1)
 	db.mem.putEntry(entry{
 		key:   append([]byte(nil), key...),
 		value: append([]byte(nil), value...),
@@ -115,7 +112,7 @@ func (s *Session) Put(p lockapi.Proc, key, value []byte) {
 func (s *Session) Get(p lockapi.Proc, key []byte) ([]byte, bool) {
 	db := s.db
 	db.lock.Acquire(p, s.ctx)
-	db.gets++
+	db.gets.Add(1)
 	var v []byte
 	var ok bool
 	if e, found := db.mem.get(key); found {
@@ -138,7 +135,7 @@ func (s *Session) Get(p lockapi.Proc, key []byte) ([]byte, bool) {
 func (s *Session) Delete(p lockapi.Proc, key []byte) {
 	db := s.db
 	db.lock.Acquire(p, s.ctx)
-	db.deletes++
+	db.deletes.Add(1)
 	db.mem.putEntry(entry{key: append([]byte(nil), key...), tombstone: true})
 	if db.mem.bytes >= db.opts.MemtableBytes {
 		db.freezeLocked()
@@ -152,7 +149,7 @@ func (s *Session) Delete(p lockapi.Proc, key []byte) {
 func (s *Session) Scan(p lockapi.Proc, start, end []byte, fn func(key, value []byte) bool) {
 	db := s.db
 	db.lock.Acquire(p, s.ctx)
-	db.scans++
+	db.scans.Add(1)
 	// Sources newest-first: memtable, then runs.
 	sources := make([][]entry, 0, len(db.runs)+1)
 	sources = append(sources, db.mem.entriesFrom(start))
@@ -214,7 +211,7 @@ func (db *DB) freezeLocked() {
 // compactLocked merges all runs into one (newest value wins) and drops
 // tombstones — a full compaction, so shadowed deletions are safe to forget.
 func (db *DB) compactLocked() {
-	db.compactions++
+	db.compactions.Add(1)
 	merged := make(map[string]entry)
 	for i := len(db.runs) - 1; i >= 0; i-- { // oldest first; newer overwrite
 		for _, e := range db.runs[i].entries {
@@ -241,20 +238,73 @@ func (s *Session) Flush(p lockapi.Proc) {
 	s.db.lock.Release(p, s.ctx)
 }
 
-// Stats returns operation counters.
-func (db *DB) Stats() (gets, puts, compactions uint64, runs int) {
-	//lint:escape quiescent-ok the bench driver reads Stats between phases, after every session has drained; counters only move under db.lock during the run
-	return db.gets, db.puts, db.compactions, len(db.runs)
+// Stats is a point-in-time snapshot of one DB's operation counters.
+type Stats struct {
+	// Gets / Puts / Deletes / Scans count completed operations.
+	Gets, Puts, Deletes, Scans uint64
+	// Compactions counts full-merge compactions.
+	Compactions uint64
+	// Runs is the number of immutable runs at snapshot time.
+	Runs int
 }
 
-// OpStats returns the extended operation counters.
-func (db *DB) OpStats() (gets, puts, deletes, scans uint64) {
-	//lint:escape quiescent-ok same phase boundary as Stats: no live session when the driver samples the extended counters
-	return db.gets, db.puts, db.deletes, db.scans
+// Add accumulates other into s (aggregating per-shard snapshots).
+func (s *Stats) Add(other Stats) {
+	s.Gets += other.Gets
+	s.Puts += other.Puts
+	s.Deletes += other.Deletes
+	s.Scans += other.Scans
+	s.Compactions += other.Compactions
+	s.Runs += other.Runs
 }
+
+// StatsSnapshot returns the DB's counters under the exclusive lock: the
+// snapshot is a consistent cut even while other sessions are live, so phase
+// drivers need no quiescence argument (this replaced the unlocked Stats
+// readers and their lint waivers).
+func (s *Session) StatsSnapshot(p lockapi.Proc) Stats {
+	db := s.db
+	db.lock.Acquire(p, s.ctx)
+	st := Stats{
+		Gets:        db.gets.Load(),
+		Puts:        db.puts.Load(),
+		Deletes:     db.deletes.Load(),
+		Scans:       db.scans.Load(),
+		Compactions: db.compactions.Load(),
+		Runs:        len(db.runs),
+	}
+	db.lock.Release(p, s.ctx)
+	return st
+}
+
+// KeyWidth is the canonical benchmark key width (LevelDB db_bench's 16-digit
+// zero-padded decimal key space).
+const KeyWidth = 16
 
 // Key formats the canonical fixed-width benchmark key, like LevelDB's
-// db_bench key space.
+// db_bench key space. It performs exactly one allocation (the returned
+// slice); use AppendKey to amortize even that away on hot paths.
 func Key(i int) []byte {
-	return []byte(fmt.Sprintf("%016d", i))
+	return AppendKey(make([]byte, 0, KeyWidth), i)
+}
+
+// AppendKey appends the canonical fixed-width key for i to dst and returns
+// the extended slice. It is allocation-free when dst has capacity — this
+// encoder runs on every operation of every KV workload, where
+// fmt.Sprintf("%016d", i) dominated the profile. Negative i panics (the
+// benchmark key space is non-negative).
+func AppendKey(dst []byte, i int) []byte {
+	if i < 0 {
+		panic("kvstore: negative benchmark key")
+	}
+	if i >= 1e16 {
+		// Wider than the fixed field: widen like %016d would.
+		return strconv.AppendInt(dst, int64(i), 10)
+	}
+	var buf [KeyWidth]byte
+	for b := KeyWidth - 1; b >= 0; b-- {
+		buf[b] = byte('0' + i%10)
+		i /= 10
+	}
+	return append(dst, buf[:]...)
 }

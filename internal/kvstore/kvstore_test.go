@@ -78,8 +78,7 @@ func TestDBFreezeAndReadThroughRuns(t *testing.T) {
 	for i := 0; i < 500; i++ {
 		s.Put(p0, Key(i), bytes.Repeat([]byte("x"), 50))
 	}
-	_, _, _, runs := db.Stats()
-	if runs == 0 {
+	if st := s.StatsSnapshot(p0); st.Runs == 0 {
 		t.Fatal("no runs frozen despite tiny memtable threshold")
 	}
 	for i := 0; i < 500; i++ {
@@ -98,12 +97,12 @@ func TestDBCompactionKeepsNewestValue(t *testing.T) {
 		}
 		s.Flush(p0)
 	}
-	_, _, compactions, runs := db.Stats()
-	if compactions == 0 {
+	st := s.StatsSnapshot(p0)
+	if st.Compactions == 0 {
 		t.Fatal("no compaction happened")
 	}
-	if runs > 2+1 {
-		t.Errorf("runs = %d after compaction", runs)
+	if st.Runs > 2+1 {
+		t.Errorf("runs = %d after compaction", st.Runs)
 	}
 	for i := 0; i < 50; i++ {
 		v, ok := s.Get(p0, Key(i))
@@ -217,4 +216,51 @@ func TestKeyFormat(t *testing.T) {
 	if bytes.Compare(Key(9), Key(10)) >= 0 {
 		t.Error("keys do not sort numerically")
 	}
+	// The fixed-width encoder must agree with the %016d format it replaced,
+	// across digit-count boundaries and beyond the fixed field.
+	for _, i := range []int{0, 1, 9, 10, 99, 12345, 1e9, 1e15, 1e16, 1e16 + 27} {
+		if got, want := string(Key(i)), fmt.Sprintf("%016d", i); got != want {
+			t.Errorf("Key(%d) = %q, want %q", i, got, want)
+		}
+	}
+	buf := make([]byte, 0, KeyWidth)
+	if got := string(AppendKey(buf, 7)); got != "0000000000000007" {
+		t.Errorf("AppendKey = %q", got)
+	}
+}
+
+// TestKeyAllocs guards the encoder satellite: AppendKey into a cap-sufficient
+// buffer must not allocate, and Key must allocate exactly its result slice.
+func TestKeyAllocs(t *testing.T) {
+	buf := make([]byte, 0, KeyWidth)
+	if n := testing.AllocsPerRun(100, func() { buf = AppendKey(buf[:0], 123456) }); n != 0 {
+		t.Errorf("AppendKey allocates %.1f times per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { _ = Key(123456) }); n > 1 {
+		t.Errorf("Key allocates %.1f times per op, want <= 1", n)
+	}
+}
+
+// BenchmarkKey pins the hot-path cost of the fixed-width encoder (it runs on
+// every op of every KV workload; the fmt.Sprintf it replaced was ~10x).
+func BenchmarkKey(b *testing.B) {
+	b.Run("Key", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = Key(i)
+		}
+	})
+	b.Run("AppendKey", func(b *testing.B) {
+		b.ReportAllocs()
+		buf := make([]byte, 0, KeyWidth)
+		for i := 0; i < b.N; i++ {
+			buf = AppendKey(buf[:0], i)
+		}
+	})
+	b.Run("Sprintf", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = []byte(fmt.Sprintf("%016d", i))
+		}
+	})
 }

@@ -56,7 +56,7 @@ func TestCompactionDropsTombstones(t *testing.T) {
 		s.Delete(p0, Key(i))
 	}
 	s.Flush(p0) // exceeds MaxRuns -> compaction
-	if _, _, compactions, _ := db.Stats(); compactions == 0 {
+	if st := s.StatsSnapshot(p0); st.Compactions == 0 {
 		t.Fatal("no compaction happened")
 	}
 	for i := 0; i < 20; i++ {

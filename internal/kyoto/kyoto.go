@@ -7,6 +7,8 @@
 package kyoto
 
 import (
+	"sync/atomic"
+
 	"github.com/clof-go/clof/internal/lockapi"
 )
 
@@ -36,18 +38,15 @@ type CacheDB struct {
 	opts    Options
 	lock    lockapi.Lock
 	buckets []*record
-	count   int
+	count   atomic.Int64
 	// LRU list: head = most recent, tail = eviction candidate.
 	lruHead, lruTail *record
 
-	gets, sets, removes, evictions uint64
+	// Operation counters, atomic for the same reason as kvstore.DB's: the
+	// sharded store snapshots them per shard under that shard's lock, and
+	// Count stays readable from any thread without a quiescence argument.
+	gets, sets, removes, evictions atomic.Uint64
 }
-
-type noopLock struct{}
-
-func (noopLock) NewCtx() lockapi.Ctx                   { return nil }
-func (noopLock) Acquire(p lockapi.Proc, _ lockapi.Ctx) {}
-func (noopLock) Release(p lockapi.Proc, _ lockapi.Ctx) {}
 
 // Open creates an empty CacheDB.
 func Open(opts Options) *CacheDB {
@@ -56,7 +55,7 @@ func Open(opts Options) *CacheDB {
 	}
 	lock := opts.Lock
 	if lock == nil {
-		lock = noopLock{}
+		lock = lockapi.Noop{}
 	}
 	return &CacheDB{opts: opts, lock: lock, buckets: make([]*record, opts.Buckets)}
 }
@@ -86,7 +85,7 @@ func fnv1a(s string) uint64 {
 func (s *Session) Set(p lockapi.Proc, key string, value []byte) {
 	db := s.db
 	db.lock.Acquire(p, s.ctx)
-	db.sets++
+	db.sets.Add(1)
 	slot := int(fnv1a(key) % uint64(len(db.buckets)))
 	if r := db.findLocked(slot, key); r != nil {
 		r.value = value
@@ -94,9 +93,9 @@ func (s *Session) Set(p lockapi.Proc, key string, value []byte) {
 	} else {
 		r := &record{key: key, value: value, bucketSlot: slot, hashNext: db.buckets[slot]}
 		db.buckets[slot] = r
-		db.count++
+		db.count.Add(1)
 		db.lruPushFrontLocked(r)
-		if db.opts.Capacity > 0 && db.count > db.opts.Capacity {
+		if db.opts.Capacity > 0 && db.count.Load() > int64(db.opts.Capacity) {
 			db.evictLocked()
 		}
 	}
@@ -107,7 +106,7 @@ func (s *Session) Set(p lockapi.Proc, key string, value []byte) {
 func (s *Session) Get(p lockapi.Proc, key string) ([]byte, bool) {
 	db := s.db
 	db.lock.Acquire(p, s.ctx)
-	db.gets++
+	db.gets.Add(1)
 	var v []byte
 	var ok bool
 	slot := int(fnv1a(key) % uint64(len(db.buckets)))
@@ -123,22 +122,53 @@ func (s *Session) Get(p lockapi.Proc, key string) ([]byte, bool) {
 func (s *Session) Remove(p lockapi.Proc, key string) bool {
 	db := s.db
 	db.lock.Acquire(p, s.ctx)
-	db.removes++
+	db.removes.Add(1)
 	slot := int(fnv1a(key) % uint64(len(db.buckets)))
 	ok := db.unlinkLocked(slot, key)
 	db.lock.Release(p, s.ctx)
 	return ok
 }
 
-// Count returns the record count (unsynchronized snapshot).
-//
-//lint:escape quiescent-ok documented unsynchronized snapshot, sampled by the driver at phase boundaries with no live sessions
-func (db *CacheDB) Count() int { return db.count }
+// Count returns the record count. The load is atomic, so it is safe from any
+// thread; it is a point sample, not a cut consistent with in-flight sessions
+// (use StatsSnapshot for that).
+func (db *CacheDB) Count() int { return int(db.count.Load()) }
 
-// Stats returns operation counters.
-func (db *CacheDB) Stats() (gets, sets, removes, evictions uint64) {
-	//lint:escape quiescent-ok the kccachetest driver reads Stats after the run drains; counters only move under db.lock
-	return db.gets, db.sets, db.removes, db.evictions
+// Stats is a point-in-time snapshot of one CacheDB's operation counters.
+type Stats struct {
+	// Gets / Sets / Removes count completed operations.
+	Gets, Sets, Removes uint64
+	// Evictions counts LRU capacity evictions.
+	Evictions uint64
+	// Count is the live record count at snapshot time.
+	Count int
+}
+
+// Add accumulates other into s (aggregating per-shard snapshots).
+func (s *Stats) Add(other Stats) {
+	s.Gets += other.Gets
+	s.Sets += other.Sets
+	s.Removes += other.Removes
+	s.Evictions += other.Evictions
+	s.Count += other.Count
+}
+
+// StatsSnapshot returns the CacheDB's counters under the lock: the snapshot
+// is a consistent cut even while other sessions are live, so phase drivers
+// need no quiescence argument (this replaced the unlocked Stats readers and
+// their lint waivers).
+func (s *Session) StatsSnapshot(p lockapi.Proc) Stats {
+	db := s.db
+	db.lock.Acquire(p, s.ctx)
+	st := Stats{
+		Gets:      db.gets.Load(),
+		Sets:      db.sets.Load(),
+		Removes:   db.removes.Load(),
+		Evictions: db.evictions.Load(),
+		Count:     int(db.count.Load()),
+	}
+	db.lock.Release(p, s.ctx)
+	return st
 }
 
 func (db *CacheDB) findLocked(slot int, key string) *record {
@@ -162,7 +192,7 @@ func (db *CacheDB) unlinkLocked(slot int, key string) bool {
 			prev.hashNext = r.hashNext
 		}
 		db.lruUnlinkLocked(r)
-		db.count--
+		db.count.Add(-1)
 		return true
 	}
 	return false
@@ -208,5 +238,5 @@ func (db *CacheDB) evictLocked() {
 		return
 	}
 	db.unlinkLocked(victim.bucketSlot, victim.key)
-	db.evictions++
+	db.evictions.Add(1)
 }

@@ -87,8 +87,8 @@ func TestLRUEviction(t *testing.T) {
 			t.Errorf("key %s wrongly evicted", k)
 		}
 	}
-	if _, _, _, ev := db.Stats(); ev != 1 {
-		t.Errorf("evictions = %d, want 1", ev)
+	if st := s.StatsSnapshot(p0); st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
 	}
 	if db.Count() != 3 {
 		t.Errorf("Count = %d, want capacity 3", db.Count())
@@ -189,8 +189,8 @@ func TestNativeBench(t *testing.T) {
 	if db.Count() > 1000 {
 		t.Fatalf("capacity exceeded during bench: %d", db.Count())
 	}
-	gets, sets, removes, _ := db.Stats()
-	if gets == 0 || sets == 0 {
-		t.Errorf("mixed workload missing op kinds: gets=%d sets=%d removes=%d", gets, sets, removes)
+	st := db.NewSession().StatsSnapshot(p0)
+	if st.Gets == 0 || st.Sets == 0 {
+		t.Errorf("mixed workload missing op kinds: gets=%d sets=%d removes=%d", st.Gets, st.Sets, st.Removes)
 	}
 }

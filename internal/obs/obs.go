@@ -246,6 +246,9 @@ type Report struct {
 	Fairness Fairness `json:"fairness"`
 	// Traffic lists per-cell memory-operation counts (needs TraceFunc).
 	Traffic []CellTraffic `json:"traffic,omitempty"`
+	// Shards breaks acquisitions down by shard when the report aggregates a
+	// sharded store's per-shard collectors (CombineShards); nil otherwise.
+	Shards []ShardStat `json:"shards,omitempty"`
 }
 
 // Handover is the handover-distance breakdown: every acquisition after the

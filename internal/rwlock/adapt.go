@@ -1,0 +1,55 @@
+package rwlock
+
+import (
+	"github.com/clof-go/clof/internal/lockapi"
+)
+
+// This file adapts RWLock's typed API (RLock/RUnlock, Lock/Unlock with a
+// concrete *Ctx) to the lockapi.Lock interface plus the lockapi.RWLocker
+// shared-acquisition capability, so the lock can sit in the catalog and
+// guard a shard of the sharded store (internal/store). The adapter embeds a
+// lockapi.Probe rather than relying on lockapi.Instrument's generic wrapper:
+// the generic wrapper would not forward AcquireShared/ReleaseShared, so
+// instrumenting it would silently strip the reader fast path.
+
+// Adapted is an RWLock exposed as a lockapi.RWLocker. Only the exclusive
+// (writer) path reports observer edges: the obs layer's handover and hold
+// reconstruction assumes mutual exclusion, which overlapping shared holders
+// would violate; callers that care about read traffic count shared
+// acquisitions themselves.
+type Adapted struct {
+	lockapi.Probe
+	l *RWLock
+}
+
+// Adapt wraps l. The adapter is stateless beyond the probe; one adapter may
+// serve any number of contexts.
+func Adapt(l *RWLock) *Adapted { return &Adapted{l: l} }
+
+// NewCtx implements lockapi.Lock. Only safe during single-threaded setup.
+func (a *Adapted) NewCtx() lockapi.Ctx { return a.l.NewCtx() }
+
+// Acquire implements lockapi.Lock via the exclusive writer path.
+func (a *Adapted) Acquire(p lockapi.Proc, c lockapi.Ctx) {
+	a.EmitAcquireStart(p)
+	a.l.Lock(p, c.(*Ctx))
+	a.EmitAcquired(p)
+}
+
+// Release implements lockapi.Lock.
+func (a *Adapted) Release(p lockapi.Proc, c lockapi.Ctx) {
+	a.l.Unlock(p, c.(*Ctx))
+	a.EmitReleased(p)
+}
+
+// AcquireShared implements lockapi.RWLocker via the reader path; the context
+// is accepted for interface conformance (readers carry no state).
+func (a *Adapted) AcquireShared(p lockapi.Proc, _ lockapi.Ctx) { a.l.RLock(p) }
+
+// ReleaseShared implements lockapi.RWLocker.
+func (a *Adapted) ReleaseShared(p lockapi.Proc, _ lockapi.Ctx) { a.l.RUnlock(p) }
+
+var (
+	_ lockapi.RWLocker     = (*Adapted)(nil)
+	_ lockapi.Instrumented = (*Adapted)(nil)
+)

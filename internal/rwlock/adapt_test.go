@@ -1,0 +1,124 @@
+package rwlock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/clof-go/clof/internal/lockapi"
+	"github.com/clof-go/clof/internal/locks"
+	"github.com/clof-go/clof/internal/topo"
+)
+
+// TestAdaptedExclusiveMutex: the adapter's Acquire/Release path is a proper
+// mutex (unprotected counter sees no lost updates).
+func TestAdaptedExclusiveMutex(t *testing.T) {
+	m := topo.Armv8Server()
+	a := Adapt(New(m, topo.CacheGroup, locks.NewMCS()))
+	const workers, iters = 4, 2000
+	ctxs := make([]lockapi.Ctx, workers)
+	for i := range ctxs {
+		ctxs[i] = a.NewCtx()
+	}
+	var data int
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := lockapi.NewNativeProc(id * 4)
+			for i := 0; i < iters; i++ {
+				a.Acquire(p, ctxs[id])
+				data++
+				a.Release(p, ctxs[id])
+			}
+		}(w)
+	}
+	wg.Wait()
+	if data != workers*iters {
+		t.Fatalf("lost updates: %d, want %d", data, workers*iters)
+	}
+}
+
+// TestAdaptedSharedExcludesWriter: shared holders block the exclusive path
+// and overlap each other; the adapter forwards both capabilities.
+func TestAdaptedSharedExcludesWriter(t *testing.T) {
+	m := topo.Armv8Server()
+	var a lockapi.RWLocker = Adapt(New(m, topo.CacheGroup, locks.NewMCS()))
+	wctx := a.NewCtx()
+
+	var inReaders, maxReaders atomic.Int64
+	var data int
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p := lockapi.NewNativeProc(0)
+		for i := 0; i < 500; i++ {
+			a.Acquire(p, wctx)
+			if inReaders.Load() != 0 {
+				t.Error("writer held concurrently with a reader")
+			}
+			data++
+			a.Release(p, wctx)
+		}
+	}()
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := lockapi.NewNativeProc(8 + id*4)
+			for i := 0; i < 2000; i++ {
+				a.AcquireShared(p, nil)
+				n := inReaders.Add(1)
+				for {
+					old := maxReaders.Load()
+					if n <= old || maxReaders.CompareAndSwap(old, n) {
+						break
+					}
+				}
+				_ = data
+				inReaders.Add(-1)
+				a.ReleaseShared(p, nil)
+			}
+		}(r)
+	}
+	wg.Wait()
+	if maxReaders.Load() < 2 {
+		t.Logf("readers never observed overlapping (max %d) — legal but unusual", maxReaders.Load())
+	}
+}
+
+// TestAdaptedProbe: the adapter is natively Instrumented — lockapi.Instrument
+// must annotate it in place (not wrap it, which would strip RWLocker) and the
+// exclusive path must emit balanced edges.
+func TestAdaptedProbe(t *testing.T) {
+	m := topo.Armv8Server()
+	a := Adapt(New(m, topo.CacheGroup, locks.NewMCS()))
+	var starts, acqs, rels int
+	o := lockapi.ObserverFromFuncs(
+		func(lockapi.Proc) { starts++ },
+		func(lockapi.Proc) { acqs++ },
+		func(lockapi.Proc) { rels++ },
+	)
+	got := lockapi.Instrument(a, o)
+	if got != lockapi.Lock(a) {
+		t.Fatal("Instrument wrapped the adapter instead of annotating in place")
+	}
+	if _, ok := got.(lockapi.RWLocker); !ok {
+		t.Fatal("instrumented adapter lost the RWLocker capability")
+	}
+	p := lockapi.NewNativeProc(0)
+	c := a.NewCtx()
+	for i := 0; i < 5; i++ {
+		a.Acquire(p, c)
+		a.Release(p, c)
+	}
+	// Shared acquisitions emit no edges (documented: obs hold reconstruction
+	// assumes mutual exclusion).
+	a.AcquireShared(p, nil)
+	a.ReleaseShared(p, nil)
+	if starts != 5 || acqs != 5 || rels != 5 {
+		t.Fatalf("edges = %d/%d/%d, want 5/5/5", starts, acqs, rels)
+	}
+}

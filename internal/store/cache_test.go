@@ -1,0 +1,119 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/clof-go/clof/internal/kyoto"
+	"github.com/clof-go/clof/internal/lockapi"
+	"github.com/clof-go/clof/internal/locks"
+)
+
+// TestCacheOracle: the sharded cache matches a map oracle for unbounded
+// capacity (eviction is per shard, so only capacity-free runs compare
+// exactly against a global oracle).
+func TestCacheOracle(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c := OpenCache(CacheOptions{Shards: 1 + int(len(ops))%4, Shard: kyoto.Options{Buckets: 8}})
+		s := c.NewSession()
+		oracle := map[string]string{}
+		for i, op := range ops {
+			k := fmt.Sprint(op % 31)
+			switch op % 3 {
+			case 0:
+				v := fmt.Sprint(i)
+				s.Set(p0, k, []byte(v))
+				oracle[k] = v
+			case 1:
+				got, ok := s.Get(p0, k)
+				want, wok := oracle[k]
+				if ok != wok || (ok && string(got) != want) {
+					return false
+				}
+			case 2:
+				if s.Remove(p0, k) != (func() bool { _, ok := oracle[k]; return ok })() {
+					return false
+				}
+				delete(oracle, k)
+			}
+		}
+		return c.Count() == len(oracle)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCachePerShardEviction: per-shard capacity bounds the total and
+// evictions are attributed to the shard that performed them.
+func TestCachePerShardEviction(t *testing.T) {
+	c := OpenCache(CacheOptions{Shards: 4, Shard: kyoto.Options{Capacity: 10}})
+	s := c.NewSession()
+	for i := 0; i < 400; i++ {
+		s.Set(p0, fmt.Sprint(i), nil)
+	}
+	if n := c.Count(); n > 40 {
+		t.Errorf("count %d exceeds total capacity 40", n)
+	}
+	st := s.StatsSnapshot(p0)
+	if st.Evictions == 0 {
+		t.Error("no evictions despite 10x overload")
+	}
+	if st.Sets != 400 {
+		t.Errorf("sets = %d, want 400", st.Sets)
+	}
+	per := s.ShardStats(p0)
+	active := 0
+	for _, sh := range per {
+		if sh.Evictions > 0 {
+			active++
+		}
+	}
+	if active < 2 {
+		t.Errorf("evictions concentrated on %d shards; hash routing should spread them", active)
+	}
+}
+
+// TestCacheConcurrent: shard locks exclude concurrent mutators (structure
+// integrity mirrors kyoto's own concurrency test, across shards).
+func TestCacheConcurrent(t *testing.T) {
+	c := OpenCache(CacheOptions{
+		Shards:  4,
+		NewLock: func(int) lockapi.Lock { return locks.NewMCS() },
+		Shard:   kyoto.Options{Capacity: 100},
+	})
+	const workers = 4
+	sessions := make([]*CacheSession, workers)
+	for i := range sessions {
+		sessions[i] = c.NewSession()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := lockapi.NewNativeProc(id)
+			for i := 0; i < 2000; i++ {
+				k := fmt.Sprint((id*31 + i) % 300)
+				switch i % 4 {
+				case 0:
+					sessions[id].Set(p, k, []byte(k))
+				case 3:
+					sessions[id].Remove(p, k)
+				default:
+					sessions[id].Get(p, k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := c.Count(); n > 400 {
+		t.Errorf("count %d exceeds total capacity 400", n)
+	}
+	st := c.NewSession().StatsSnapshot(p0)
+	if got := st.Gets + st.Sets + st.Removes; got != workers*2000 {
+		t.Errorf("ops accounted = %d, want %d", got, workers*2000)
+	}
+}

@@ -1,0 +1,207 @@
+package store
+
+import (
+	"bytes"
+
+	"github.com/clof-go/clof/internal/kvstore"
+	"github.com/clof-go/clof/internal/lockapi"
+)
+
+// This file runs kvstore.DB behind the shard router. Reads (Get, Scan) are
+// shared-mode when the shard lock allows it — the LSM's read paths mutate
+// nothing but its atomic counters — while Put/Delete/Flush take the
+// exclusive path.
+
+// KVOptions configures a sharded LSM store.
+type KVOptions struct {
+	// Shards is the shard count (default 1).
+	Shards int
+	// RangeKeys, when > 0, selects range partitioning with uniform bounds
+	// over the canonical kvstore.Key space [0, RangeKeys); 0 selects hash
+	// partitioning.
+	RangeKeys int
+	// NewLock supplies shard i's lock (nil function or result: lockapi.Noop).
+	// Shard locks implementing lockapi.RWLocker serve reads in shared mode.
+	NewLock func(shard int) lockapi.Lock
+	// Shard is the per-shard engine configuration. Its Lock field is ignored:
+	// the router owns all locking and opens every shard with lockapi.Noop.
+	Shard kvstore.Options
+}
+
+// KV is the sharded LSM store.
+type KV struct {
+	router *Router[*kvstore.DB]
+}
+
+// OpenKV builds the shards. Single-shard behavior is bit-identical to an
+// unsharded kvstore.DB opened with the same lock: one lock brackets the
+// same operations in the same order.
+func OpenKV(opts KVOptions) *KV {
+	if opts.Shards == 0 {
+		opts.Shards = 1
+	}
+	var part Partitioner
+	if opts.RangeKeys > 0 {
+		rp, err := NewRangePartitioner(UniformBounds(opts.RangeKeys, opts.Shards, kvstore.Key))
+		if err != nil {
+			panic(err) // unreachable: UniformBounds emits ascending keys
+		}
+		part = rp
+	} else {
+		part = NewHashPartitioner(opts.Shards)
+	}
+	shardOpts := opts.Shard
+	shardOpts.Lock = nil // router-owned locking; Open defaults to Noop
+	return &KV{router: NewRouter(part, opts.NewLock,
+		func(i int) *kvstore.DB {
+			so := shardOpts
+			so.Seed += uint64(i) // decorrelate shard skiplists
+			return kvstore.Open(so)
+		})}
+}
+
+// Shards returns the shard count.
+func (kv *KV) Shards() int { return kv.router.Shards() }
+
+// LockAt exposes shard i's lock for single-threaded instrumentation.
+func (kv *KV) LockAt(i int) lockapi.Lock { return kv.router.LockAt(i) }
+
+// KVSession is a per-worker handle: router contexts plus one inner engine
+// session per shard (the inner sessions carry the shards' no-op lock
+// contexts). Create only during single-threaded setup.
+type KVSession struct {
+	s     *Session[*kvstore.DB]
+	inner []*kvstore.Session
+}
+
+// NewSession allocates a worker session.
+func (kv *KV) NewSession() *KVSession {
+	s := kv.router.NewSession()
+	inner := make([]*kvstore.Session, kv.router.Shards())
+	for i := range inner {
+		inner[i] = kv.router.shards[i].NewSession()
+	}
+	return &KVSession{s: s, inner: inner}
+}
+
+// Put inserts or overwrites a key on its shard.
+func (s *KVSession) Put(p lockapi.Proc, key, value []byte) {
+	s.s.Exclusive(p, key, func(i int, _ *kvstore.DB) {
+		s.inner[i].Put(p, key, value)
+	})
+}
+
+// Get fetches a key from its shard (shared-mode when available).
+func (s *KVSession) Get(p lockapi.Proc, key []byte) (v []byte, ok bool) {
+	s.s.Shared(p, key, func(i int, _ *kvstore.DB) {
+		v, ok = s.inner[i].Get(p, key)
+	})
+	return v, ok
+}
+
+// Delete writes a tombstone on the key's shard. A key always routes to one
+// shard, so its tombstone shadows its older values there; no cross-shard
+// shadowing can arise.
+func (s *KVSession) Delete(p lockapi.Proc, key []byte) {
+	s.s.Exclusive(p, key, func(i int, _ *kvstore.DB) {
+		s.inner[i].Delete(p, key)
+	})
+}
+
+// Flush freezes every shard's memtable (ascending, one shard at a time).
+func (s *KVSession) Flush(p lockapi.Proc) {
+	s.s.Ascending(p, 0, false, func(i int, _ *kvstore.DB) bool {
+		s.inner[i].Flush(p)
+		return true
+	})
+}
+
+// Scan visits every live key in [start, end) in ascending key order, merged
+// across shards; fn returning false stops the scan. Under a range partition
+// the scan streams shard by shard in key order; under hash partitioning it
+// collects each shard's range and k-way merges. Either way at most one
+// shard lock is held at a time (shared-mode when available): the result
+// interleaves per-shard snapshots taken at slightly different instants, not
+// one atomic cut — each shard's contribution is internally consistent.
+func (s *KVSession) Scan(p lockapi.Proc, start, end []byte, fn func(key, value []byte) bool) {
+	if s.s.r.Ordered() {
+		from := s.s.r.rinfo.FirstShard(start)
+		s.s.Ascending(p, from, true, func(i int, _ *kvstore.DB) bool {
+			cont := true
+			s.inner[i].Scan(p, start, end, func(k, v []byte) bool {
+				cont = fn(k, v)
+				return cont
+			})
+			return cont
+		})
+		return
+	}
+	// Hash partition: per-shard collect, then merge. Shards hold disjoint
+	// key sets, so the merge never sees duplicates, and the inner Scan has
+	// already applied tombstones.
+	type kvPair struct{ k, v []byte }
+	parts := make([][]kvPair, 0, s.s.r.Shards())
+	s.s.Ascending(p, 0, true, func(i int, _ *kvstore.DB) bool {
+		var part []kvPair
+		s.inner[i].Scan(p, start, end, func(k, v []byte) bool {
+			part = append(part, kvPair{k: append([]byte(nil), k...), v: append([]byte(nil), v...)})
+			return true
+		})
+		if len(part) > 0 {
+			parts = append(parts, part)
+		}
+		return true
+	})
+	for {
+		best := -1
+		for i := range parts {
+			if len(parts[i]) == 0 {
+				continue
+			}
+			if best == -1 || bytes.Compare(parts[i][0].k, parts[best][0].k) < 0 {
+				best = i
+			}
+		}
+		if best == -1 {
+			return
+		}
+		pair := parts[best][0]
+		parts[best] = parts[best][1:]
+		if !fn(pair.k, pair.v) {
+			return
+		}
+	}
+}
+
+// StatsSnapshot aggregates every shard's counters (ascending shard order,
+// one consistent per-shard cut at a time).
+func (s *KVSession) StatsSnapshot(p lockapi.Proc) kvstore.Stats {
+	var total kvstore.Stats
+	for _, st := range s.ShardStats(p) {
+		total.Add(st)
+	}
+	return total
+}
+
+// ShardStats returns one consistent counter snapshot per shard — the
+// shard-resolved view the serving experiments report.
+func (s *KVSession) ShardStats(p lockapi.Proc) []kvstore.Stats {
+	out := make([]kvstore.Stats, s.s.r.Shards())
+	s.s.Ascending(p, 0, false, func(i int, _ *kvstore.DB) bool {
+		out[i] = s.inner[i].StatsSnapshot(p)
+		return true
+	})
+	return out
+}
+
+// PreloadKV fills the store with keys sequential canonical keys and flushes
+// (single-threaded, mirroring kvstore.Preload).
+func PreloadKV(kv *KV, keys int) {
+	p := lockapi.NewNativeProc(0)
+	s := kv.NewSession()
+	val := make([]byte, 100)
+	for i := 0; i < keys; i++ {
+		s.Put(p, kvstore.Key(i), val)
+	}
+	s.Flush(p)
+}

@@ -1,0 +1,293 @@
+package workload
+
+import (
+	"fmt"
+
+	"github.com/clof-go/clof/internal/lockapi"
+	"github.com/clof-go/clof/internal/memsim"
+	"github.com/clof-go/clof/internal/store"
+	"github.com/clof-go/clof/internal/topo"
+	"github.com/clof-go/clof/internal/xrand"
+)
+
+// This file is the simulator-side model of the sharded KV serving engine
+// (internal/store, DESIGN.md S32). Like the LevelDB/Kyoto presets it models
+// the lock protocol exactly and the engine work as calibrated think time:
+// N shards, each a lock plus protected data cells; threads draw keys from a
+// YCSB-style distribution, route to the owning shard, and run the mix's
+// operation under the shard's lock — shared mode for reads when the lock is
+// a lockapi.RWLocker, exclusive otherwise; scans visit consecutive shards
+// ascending, one lock at a time, exactly like the native store's merged
+// scan. Everything derives from Config.Seed, so the kv figures are
+// byte-reproducible where native goroutine runs are not (DESIGN.md §1).
+
+// KVConfig parameterizes a simulated sharded serving run.
+type KVConfig struct {
+	// Machine is the simulated platform.
+	Machine *topo.Machine
+	// Threads is the serving thread count (placed by topo.Placement).
+	Threads int
+	// Shards is the shard count (default 1).
+	Shards int
+	// NewShardLock builds one shard's lock; it is called Shards times. Locks
+	// implementing lockapi.RWLocker serve reads in shared mode.
+	NewShardLock func() lockapi.Lock
+	// Horizon is the virtual duration in nanoseconds.
+	Horizon int64
+	// Mix is the operation mix (store.Mixes shapes; default store.ReadMostly).
+	Mix store.Mix
+	// Dist is the key distribution (store.DistUniform/Zipfian/Hotspot;
+	// default uniform). Zipfian scatters hot ranks across shards; hotspot
+	// concentrates 80% of keys in the first fifth of the keyspace, which
+	// under RangePartition becomes a hot shard.
+	Dist string
+	// Theta is the Zipfian skew (default 0.99).
+	Theta float64
+	// Keys is the synthetic keyspace size (default 4096).
+	Keys int
+	// RangePartition routes key k to shard k*Shards/Keys (contiguous ranges,
+	// ordered shards); false routes by multiplicative hash.
+	RangePartition bool
+	// ReadWork / WriteWork are the in-lock think times of point ops (ns);
+	// ScanWork is charged per shard a scan visits. Defaults mirror the
+	// LevelDB preset's short critical section.
+	ReadWork, WriteWork, ScanWork int64
+	// ScanShards is how many consecutive shards a scan visits (default 2,
+	// clamped to Shards).
+	ScanShards int
+	// NCSWork is the out-of-lock think time (ns), randomized ±50%.
+	NCSWork int64
+	// Seed makes the run reproducible.
+	Seed uint64
+	// JitterNS is per-operation timing jitter (0 = off).
+	JitterNS int64
+	// Observer, when non-nil, supplies a per-shard observer: shard i's lock
+	// is wrapped via lockapi.Instrument(lock, Observer(i)) before contexts
+	// are created. Shared acquisitions emit no edges; KVResult's
+	// SharedPerShard carries those counts instead.
+	Observer func(shard int) lockapi.Observer
+}
+
+// KVResult reports a simulated serving run. The embedded Result's
+// HandoverLevels stay zero — per-shard handover locality lives in the obs
+// collectors attached via KVConfig.Observer.
+type KVResult struct {
+	Result
+	// PerShard counts lock acquisitions per shard (exclusive + shared,
+	// scan visits included) — the contention attribution the serving
+	// experiments report.
+	PerShard []uint64
+	// SharedPerShard counts the shared-mode subset of PerShard (0 for locks
+	// without a shared path).
+	SharedPerShard []uint64
+	// Reads / Updates / RMWs / Scans split completed iterations by kind.
+	Reads, Updates, RMWs, Scans uint64
+	// SharedViolations counts shared acquisitions granted while a writer
+	// held the shard, plus exclusive grants while readers were active (must
+	// be 0 for a correct reader-writer lock).
+	SharedViolations uint64
+}
+
+// RunKV executes the simulated serving workload; it reports an error on
+// deadlock.
+func RunKV(cfg KVConfig) (KVResult, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Keys <= 0 {
+		cfg.Keys = 4096
+	}
+	if cfg.Mix.Name == "" {
+		cfg.Mix = store.ReadMostly
+	}
+	if cfg.Dist == "" {
+		cfg.Dist = store.DistUniform
+	}
+	if cfg.Theta == 0 {
+		cfg.Theta = 0.99
+	}
+	if cfg.ReadWork == 0 {
+		cfg.ReadWork = 300
+	}
+	if cfg.WriteWork == 0 {
+		cfg.WriteWork = 450
+	}
+	if cfg.ScanWork == 0 {
+		cfg.ScanWork = 600
+	}
+	if cfg.NCSWork == 0 {
+		cfg.NCSWork = 2400
+	}
+	scanShards := cfg.ScanShards
+	if scanShards <= 0 {
+		scanShards = 2
+	}
+	if scanShards > cfg.Shards {
+		scanShards = cfg.Shards
+	}
+
+	cpus, err := topo.Placement(cfg.Machine, cfg.Threads)
+	if err != nil {
+		return KVResult{}, err
+	}
+	n := len(cpus)
+	m := memsim.New(memsim.Config{Machine: cfg.Machine, Seed: cfg.Seed, JitterNS: cfg.JitterNS})
+
+	// Per-shard state: lock (instrumented before contexts), RW capability,
+	// data cells, exclusion bookkeeping.
+	locks := make([]lockapi.Lock, cfg.Shards)
+	rws := make([]lockapi.RWLocker, cfg.Shards)
+	data := make([][]lockapi.Cell, cfg.Shards)
+	held := make([]bool, cfg.Shards)
+	readers := make([]int, cfg.Shards)
+	for i := range locks {
+		l := cfg.NewShardLock()
+		if cfg.Observer != nil {
+			l = lockapi.Instrument(l, cfg.Observer(i))
+		}
+		locks[i] = l
+		rws[i], _ = l.(lockapi.RWLocker)
+		data[i] = make([]lockapi.Cell, 4)
+	}
+	ctxs := make([][]lockapi.Ctx, n)
+	for t := 0; t < n; t++ {
+		ctxs[t] = make([]lockapi.Ctx, cfg.Shards)
+		for i, l := range locks {
+			ctxs[t][i] = l.NewCtx()
+		}
+	}
+
+	res := KVResult{
+		Result:         Result{PerThread: make([]uint64, n)},
+		PerShard:       make([]uint64, cfg.Shards),
+		SharedPerShard: make([]uint64, cfg.Shards),
+	}
+
+	shardOf := func(key int) int {
+		if cfg.RangePartition {
+			return key * cfg.Shards / cfg.Keys
+		}
+		return int((uint64(key) * 2654435761) % uint64(cfg.Shards))
+	}
+
+	for t := 0; t < n; t++ {
+		t := t
+		m.Spawn(cpus[t], func(p *memsim.Proc) {
+			rng := p.Rand()
+			var zipf *xrand.Zipf
+			if cfg.Dist == store.DistZipfian {
+				zipf = xrand.NewZipf(rng.Split(), uint64(cfg.Keys), cfg.Theta)
+			}
+			nextKey := func() int {
+				switch cfg.Dist {
+				case store.DistZipfian:
+					return int((zipf.Next() * 2654435761) % uint64(cfg.Keys))
+				case store.DistHotspot:
+					hot := cfg.Keys / 5
+					if hot < 1 || hot == cfg.Keys {
+						return rng.Intn(cfg.Keys)
+					}
+					if rng.Intn(100) < 80 {
+						return rng.Intn(hot)
+					}
+					return hot + rng.Intn(cfg.Keys-hot)
+				default:
+					return rng.Intn(cfg.Keys)
+				}
+			}
+			// sharedRead acquires shard i in shared mode when available and
+			// charges work ns while reading the shard's cells.
+			// Shard counts increment after the acquisition completes: a
+			// thread can end the run parked inside Acquire (the horizon
+			// expires while it waits), and such an attempt is neither
+			// observed nor served.
+			sharedRead := func(i int, work int64) {
+				if rw := rws[i]; rw != nil {
+					rw.AcquireShared(p, ctxs[t][i])
+					res.PerShard[i]++
+					res.SharedPerShard[i]++
+					if held[i] {
+						res.SharedViolations++
+					}
+					readers[i]++
+					p.Load(&data[i][0], lockapi.Acquire)
+					p.Work(work)
+					readers[i]--
+					rw.ReleaseShared(p, ctxs[t][i])
+					return
+				}
+				locks[i].Acquire(p, ctxs[t][i])
+				res.PerShard[i]++
+				if held[i] {
+					res.ExclusionViolations++
+				}
+				held[i] = true
+				p.Load(&data[i][0], lockapi.Acquire)
+				p.Work(work)
+				held[i] = false
+				locks[i].Release(p, ctxs[t][i])
+			}
+			exclusiveWrite := func(i int, work int64) {
+				locks[i].Acquire(p, ctxs[t][i])
+				res.PerShard[i]++
+				if held[i] {
+					res.ExclusionViolations++
+				}
+				if readers[i] > 0 {
+					res.SharedViolations++
+				}
+				held[i] = true
+				for d := range data[i] {
+					p.Add(&data[i][d], 1, lockapi.Relaxed)
+				}
+				p.Work(work)
+				held[i] = false
+				locks[i].Release(p, ctxs[t][i])
+			}
+
+			p.Work(1 + rng.Int63n(1000))
+			for !p.Expired() {
+				key := nextKey()
+				sh := shardOf(key)
+				roll := rng.Intn(100)
+				switch {
+				case roll < cfg.Mix.ReadPct:
+					sharedRead(sh, cfg.ReadWork)
+					res.Reads++
+				case roll < cfg.Mix.ReadPct+cfg.Mix.UpdatePct:
+					exclusiveWrite(sh, cfg.WriteWork)
+					res.Updates++
+				case roll < cfg.Mix.ReadPct+cfg.Mix.UpdatePct+cfg.Mix.RMWPct:
+					sharedRead(sh, cfg.ReadWork)
+					exclusiveWrite(sh, cfg.WriteWork)
+					res.RMWs++
+				default:
+					// Merged scan: consecutive shards ascending, one lock at
+					// a time (the native store's discipline).
+					last := sh + scanShards
+					if last > cfg.Shards {
+						last = cfg.Shards
+					}
+					for i := sh; i < last; i++ {
+						sharedRead(i, cfg.ScanWork)
+					}
+					res.Scans++
+				}
+				if cfg.NCSWork > 0 {
+					p.Work(cfg.NCSWork/2 + rng.Int63n(cfg.NCSWork+1))
+				}
+				res.PerThread[t]++
+			}
+		})
+	}
+	r := m.Run(cfg.Horizon)
+	if r.Deadlock {
+		return KVResult{}, fmt.Errorf("kv workload: deadlock, parked CPUs %v", r.ParkedCPUs)
+	}
+	for _, c := range res.PerThread {
+		res.Total += c
+	}
+	res.Events = r.Events
+	res.Now = r.Now
+	return res, nil
+}

@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/clof-go/clof/internal/lockapi"
+	"github.com/clof-go/clof/internal/locks"
+	"github.com/clof-go/clof/internal/obs"
+	"github.com/clof-go/clof/internal/rwlock"
+	"github.com/clof-go/clof/internal/store"
+	"github.com/clof-go/clof/internal/topo"
+)
+
+// TestKVDeterministic: identical seeds reproduce the run exactly, per shard.
+func TestKVDeterministic(t *testing.T) {
+	m := topo.X86Server()
+	run := func() KVResult {
+		r, err := RunKV(KVConfig{
+			Machine: m, Threads: 8, Shards: 4, Horizon: 150_000,
+			NewShardLock: func() lockapi.Lock { return locks.NewTicket() },
+			Mix:          store.WriteHeavy, Dist: store.DistZipfian, Seed: 42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.Total != b.Total || a.Now != b.Now || a.Events != b.Events {
+		t.Fatalf("runs diverge: %d/%d/%d vs %d/%d/%d", a.Total, a.Now, a.Events, b.Total, b.Now, b.Events)
+	}
+	for i := range a.PerShard {
+		if a.PerShard[i] != b.PerShard[i] {
+			t.Fatalf("shard %d diverges: %d vs %d", i, a.PerShard[i], b.PerShard[i])
+		}
+	}
+}
+
+// TestKVExclusionAcrossLocks: every catalog-style lock family keeps the
+// per-shard critical sections exclusive under the serving mix.
+func TestKVExclusionAcrossLocks(t *testing.T) {
+	m := topo.X86Server()
+	mks := map[string]func() lockapi.Lock{
+		"tkt": func() lockapi.Lock { return locks.NewTicket() },
+		"mcs": func() lockapi.Lock { return locks.NewMCS() },
+		"rwlock": func() lockapi.Lock {
+			return rwlock.Adapt(rwlock.New(m, topo.CacheGroup, locks.NewMCS()))
+		},
+	}
+	for name, mk := range mks {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			r, err := RunKV(KVConfig{
+				Machine: m, Threads: 12, Shards: 4, Horizon: 200_000,
+				NewShardLock: mk,
+				Mix:          store.ReadModifyWrite, Dist: store.DistZipfian, Seed: 7,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Total == 0 {
+				t.Fatal("no iterations completed")
+			}
+			if r.ExclusionViolations != 0 {
+				t.Errorf("%d exclusion violations", r.ExclusionViolations)
+			}
+			if r.SharedViolations != 0 {
+				t.Errorf("%d shared/exclusive overlap violations", r.SharedViolations)
+			}
+			if name == "rwlock" {
+				var shared uint64
+				for _, c := range r.SharedPerShard {
+					shared += c
+				}
+				if shared == 0 {
+					t.Error("rwlock shards served no shared acquisitions on a read-heavy mix")
+				}
+			}
+		})
+	}
+}
+
+// TestKVScanVisitsConsecutiveShards: the scan mix attributes acquisitions
+// to multiple shards per iteration and stays deadlock-free.
+func TestKVScanVisitsConsecutiveShards(t *testing.T) {
+	m := topo.X86Server()
+	r, err := RunKV(KVConfig{
+		Machine: m, Threads: 8, Shards: 8, Horizon: 150_000,
+		NewShardLock: func() lockapi.Lock { return locks.NewMCS() },
+		Mix:          store.ScanHeavy, ScanShards: 3, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Scans == 0 {
+		t.Fatal("scan mix ran no scans")
+	}
+	var acqs uint64
+	for _, c := range r.PerShard {
+		acqs += c
+	}
+	// Point ops acquire once; scans acquire up to 3 times — total shard
+	// acquisitions must exceed completed ops (RMWs also double-acquire).
+	if acqs <= r.Total {
+		t.Errorf("acquisitions %d <= iterations %d; scans did not visit multiple shards", acqs, r.Total)
+	}
+}
+
+// TestKVHotspotRangeSkew: a hotspot distribution over a range partition
+// concentrates acquisitions on the first shard.
+func TestKVHotspotRangeSkew(t *testing.T) {
+	m := topo.X86Server()
+	r, err := RunKV(KVConfig{
+		Machine: m, Threads: 8, Shards: 4, Horizon: 150_000,
+		NewShardLock:   func() lockapi.Lock { return locks.NewTicket() },
+		Mix:            store.WriteHeavy, Dist: store.DistHotspot,
+		RangePartition: true, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rest uint64
+	for _, c := range r.PerShard[1:] {
+		rest += c
+	}
+	if r.PerShard[0] <= rest {
+		t.Errorf("hotspot: shard 0 got %d acquisitions vs %d elsewhere; want a hot shard", r.PerShard[0], rest)
+	}
+}
+
+// TestKVObserverPerShard: per-shard obs collectors see the exclusive
+// acquisitions; CombineShards' block matches the workload's own counts for
+// exclusive-only locks.
+func TestKVObserverPerShard(t *testing.T) {
+	m := topo.X86Server()
+	const shards = 4
+	collectors := make([]*obs.Collector, shards)
+	for i := range collectors {
+		collectors[i] = obs.NewCollector(m, obs.Options{})
+	}
+	r, err := RunKV(KVConfig{
+		Machine: m, Threads: 8, Shards: shards, Horizon: 150_000,
+		NewShardLock: func() lockapi.Lock { return locks.NewTicket() },
+		Mix:          store.WriteHeavy, Seed: 13,
+		Observer:     func(i int) lockapi.Observer { return collectors[i] },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := obs.CombineShards("tkt", collectors, r.SharedPerShard)
+	if len(rep.Shards) != shards {
+		t.Fatalf("report shards = %d", len(rep.Shards))
+	}
+	var fromObs uint64
+	for i, s := range rep.Shards {
+		// A ticket lock has no shared mode: the observer saw every
+		// acquisition the workload routed to the shard.
+		if s.Acquisitions != r.PerShard[i] {
+			t.Errorf("shard %d: obs %d acquisitions, workload %d", i, s.Acquisitions, r.PerShard[i])
+		}
+		if s.SharedOps != 0 {
+			t.Errorf("shard %d: shared ops %d on an exclusive-only lock", i, s.SharedOps)
+		}
+		fromObs += s.Acquisitions
+	}
+	if fromObs != rep.Acquisitions {
+		t.Errorf("shard block sums to %d, aggregate says %d", fromObs, rep.Acquisitions)
+	}
+}

@@ -1,0 +1,73 @@
+package xrand
+
+import "testing"
+
+// TestZipfRange: every draw lands in [0, n).
+func TestZipfRange(t *testing.T) {
+	z := NewZipf(New(1), 100, 0.99)
+	for i := 0; i < 10000; i++ {
+		if v := z.Next(); v >= 100 {
+			t.Fatalf("draw %d out of range: %d", i, v)
+		}
+	}
+}
+
+// TestZipfSkew: with YCSB's theta=0.99 the head of the distribution must
+// dominate — rank 0 drawn far more than a uniform share, and the top 10% of
+// ranks absorbing well over half the draws.
+func TestZipfSkew(t *testing.T) {
+	const n, draws = 1000, 200000
+	z := NewZipf(New(7), n, 0.99)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	if uniform := draws / n; counts[0] < 20*uniform {
+		t.Errorf("rank 0 drawn %d times, want >> uniform share %d", counts[0], uniform)
+	}
+	top := 0
+	for _, c := range counts[:n/10] {
+		top += c
+	}
+	if float64(top)/draws < 0.6 {
+		t.Errorf("top 10%% of ranks got %.1f%% of draws, want > 60%%", 100*float64(top)/draws)
+	}
+	// Monotone head: rank 0 >= rank 1 >= rank 2 (with this many draws the
+	// ordering of the head is stable).
+	if counts[0] < counts[1] || counts[1] < counts[2] {
+		t.Errorf("head not monotone: %d, %d, %d", counts[0], counts[1], counts[2])
+	}
+}
+
+// TestZipfDeterminism: identical seeds give identical streams.
+func TestZipfDeterminism(t *testing.T) {
+	a := NewZipf(New(42), 500, 0.9)
+	b := NewZipf(New(42), 500, 0.9)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Next(), b.Next(); x != y {
+			t.Fatalf("streams diverge at %d: %d vs %d", i, x, y)
+		}
+	}
+}
+
+// TestZipfPanics: the constructor rejects degenerate parameters.
+func TestZipfPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		n     uint64
+		theta float64
+	}{
+		{"zero-n", 0, 0.99},
+		{"theta-0", 10, 0},
+		{"theta-1", 10, 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: NewZipf did not panic", tc.name)
+				}
+			}()
+			NewZipf(New(1), tc.n, tc.theta)
+		}()
+	}
+}

@@ -22,6 +22,9 @@
 #   9. collapse smoke           (concurrency-restriction experiment at
 #      reduced scale, byte-compared across -j levels, then regenerated
 #      into figures-out/collapse-quick/ for the CI artifact)
+#  10. kv smoke                 (sharded-serving sweep at reduced scale,
+#      byte-compared across -j levels, then regenerated into
+#      figures-out/kv-quick/ for the CI artifact)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -75,5 +78,16 @@ cmp "$tmp/collapse-j1/collapse-none.csv" "$tmp/collapse-j4/collapse-none.csv"
 cmp "$tmp/collapse-j1/collapse-oversubscribed.csv" "$tmp/collapse-j4/collapse-oversubscribed.csv"
 echo "collapse smoke: byte-identical across -j levels"
 make collapse-quick
+
+echo "== kv-quick (sharded-serving smoke + determinism)"
+# The serving curves carry per-shard obs blocks in their manifest; the CSVs
+# must still be byte-identical at any worker-pool width.
+go run ./cmd/clof-figures -exp kv -quick -j 1 -q -out "$tmp/kv-j1"
+go run ./cmd/clof-figures -exp kv -quick -j 4 -q -out "$tmp/kv-j4"
+for mix in read-mostly write-heavy rmw scan; do
+  cmp "$tmp/kv-j1/kv-$mix.csv" "$tmp/kv-j4/kv-$mix.csv"
+done
+echo "kv smoke: byte-identical across -j levels"
+make kv-quick
 
 echo "check: OK"
