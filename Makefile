@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint lint-report lint-litmus doccheck check chaos figures figures-quick collapse-quick kv-quick bench bench-smoke
+.PHONY: build test lint lint-report lint-litmus doccheck check chaos figures figures-quick collapse-quick kv-quick occ-quick bench bench-smoke bench-kv
 
 build:
 	$(GO) build ./...
@@ -71,6 +71,14 @@ collapse-quick:
 kv-quick:
 	$(GO) run ./cmd/clof-figures -exp kv -quick -j 0 -out figures-out/kv-quick
 
+# Optimistic-read smoke: just the two read-mostly panels (x86 + Armv8) the
+# seq: acceptance criterion is asserted on (EXPERIMENTS.md "Optimistic
+# reads"), at reduced scale, into their own artifact directory. CI uploads
+# the CSVs + results.json; the committed full-scale curves are
+# figures-out/kv-read-mostly*.csv.
+occ-quick:
+	$(GO) run ./cmd/clof-figures -exp occ -quick -j 0 -out figures-out/occ-quick
+
 # Simulator throughput baseline: runs the canonical memsim scenarios
 # (~300ms each) and records host-side simops/s into BENCH_baseline.json.
 # Regenerate and commit after execution-core changes; see EXPERIMENTS.md
@@ -84,3 +92,10 @@ bench:
 bench-smoke:
 	CLOF_BENCH_OUT=$(CURDIR)/BENCH_smoke.json CLOF_BENCH_QUICK=1 $(GO) test ./internal/memsim -run TestWriteBenchArtifact -count=1 -v
 	$(GO) test ./internal/memsim ./internal/eventq -run XXX -bench 'BenchmarkMachine|BenchmarkQueue' -benchtime 1x
+
+# Scripted-benchmark artifact for the sharded serving workload: every CLoF
+# composition as the per-shard lock, read-mostly mix, recorded point by
+# point into BENCH_kv.json. Regenerate and commit after lock-algorithm or
+# serving-engine changes.
+bench-kv:
+	$(GO) run ./cmd/clof-bench -workload kv -out $(CURDIR)/BENCH_kv.json

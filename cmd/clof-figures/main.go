@@ -39,6 +39,11 @@ type experiment struct {
 	run func(c *expCtx)
 }
 
+// notInAll marks focused aliases of other registry entries: selectable by ID,
+// skipped by "-exp all" because the figures they emit are already covered
+// there.
+var notInAll = map[string]bool{"occ": true}
+
 // registry lists every experiment in "-exp all" execution order.
 var registry = []experiment{
 	{"table1", func(c *expCtx) { c.emit(figures.Table1()) }},
@@ -96,6 +101,14 @@ var registry = []experiment{
 			c.emit(f)
 		}
 	}},
+	// occ is the focused alias for the optimistic-read work: just the two
+	// read-mostly panels (x86 + armv8) the seq: acceptance criterion is
+	// asserted on. Not in "all" (see notInAll) — kv already emits both.
+	{"occ", func(c *expCtx) {
+		for _, f := range figures.KVOCC(c.o) {
+			c.emit(f)
+		}
+	}},
 	{"verify", func(c *expCtx) {
 		fmt.Println("verification table (see also cmd/clof-verify):")
 		for _, r := range figures.VerificationTable(c.o) {
@@ -129,7 +142,9 @@ func selectExperiments(expFlag string) ([]experiment, error) {
 		}
 		if id == "all" {
 			for _, e := range registry {
-				want[e.id] = true
+				if !notInAll[e.id] {
+					want[e.id] = true
+				}
 			}
 			continue
 		}

@@ -52,6 +52,7 @@ import (
 	"github.com/clof-go/clof/internal/analysis/loader"
 	"github.com/clof-go/clof/internal/analysis/lockfacts"
 	"github.com/clof-go/clof/internal/analysis/lockorder"
+	"github.com/clof-go/clof/internal/analysis/occdiscipline"
 	"github.com/clof-go/clof/internal/analysis/orderpolicy"
 	"github.com/clof-go/clof/internal/analysis/spinhygiene"
 )
@@ -62,6 +63,7 @@ var all = []*analysis.Analyzer{
 	copylocks.Analyzer,
 	heldescape.Analyzer,
 	lockorder.Analyzer,
+	occdiscipline.Analyzer,
 	orderpolicy.Analyzer,
 	spinhygiene.Analyzer,
 }

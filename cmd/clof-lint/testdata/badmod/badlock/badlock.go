@@ -35,5 +35,12 @@ func (l *Lock) Release(p lockapi.Proc) {
 // (atomicdiscipline).
 func (l *Lock) Snapshot() uint64 { return l.stats }
 
+// UnvalidatedRead takes an optimistic snapshot and returns the provisional
+// value without ever calling ReadValidate (occdiscipline).
+func UnvalidatedRead(p lockapi.Proc, sq lockapi.SeqReader, c *lockapi.Cell) uint64 {
+	_ = sq.ReadSeq(p)
+	return p.Load(c, lockapi.Relaxed)
+}
+
 // ByValue takes the lock by value (copylocks).
 func ByValue(l Lock) uint64 { return l.Snapshot() }

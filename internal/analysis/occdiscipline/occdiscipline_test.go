@@ -1,0 +1,15 @@
+package occdiscipline
+
+import (
+	"testing"
+
+	"github.com/clof-go/clof/internal/analysis/atest"
+)
+
+func TestFlagged(t *testing.T) {
+	atest.Run(t, Analyzer, "occbad")
+}
+
+func TestClean(t *testing.T) {
+	atest.RunExpectClean(t, Analyzer, "occok")
+}

@@ -1,0 +1,38 @@
+// Package occbad is the occdiscipline bad corpus: optimistic snapshots that
+// escape their function without the certifying ReadValidate.
+package occbad
+
+import "github.com/clof-go/clof/internal/lockapi"
+
+// neverValidated takes a snapshot and publishes the provisional value with
+// no ReadValidate at all — the classic seqlock reader bug.
+func neverValidated(p lockapi.Proc, sq lockapi.SeqReader, c *lockapi.Cell) uint64 {
+	_ = sq.ReadSeq(p) // want "optimistic read is never validated"
+	return p.Load(c, lockapi.Relaxed)
+}
+
+// escapesBeforeValidate validates on the slow path but returns the fast-path
+// value while the snapshot is still provisional.
+func escapesBeforeValidate(p lockapi.Proc, sq lockapi.SeqReader, c *lockapi.Cell) uint64 {
+	s := sq.ReadSeq(p) // want "optimistic read may escape: return before the snapshot's ReadValidate"
+	v := p.Load(c, lockapi.Relaxed)
+	if v == 0 {
+		return 0 // torn v==0 observations escape here
+	}
+	if sq.ReadValidate(p, s) {
+		return v
+	}
+	return 0
+}
+
+// closureLeak: the ReadSeq lives in a closure, so its validation must too —
+// the enclosing function's ReadValidate does not certify it.
+func closureLeak(p lockapi.Proc, sq lockapi.SeqReader, c *lockapi.Cell) uint64 {
+	read := func() uint64 {
+		_ = sq.ReadSeq(p) // want "optimistic read is never validated"
+		return p.Load(c, lockapi.Relaxed)
+	}
+	v := read()
+	sq.ReadValidate(p, 0)
+	return v
+}

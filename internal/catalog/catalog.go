@@ -14,6 +14,7 @@ package catalog
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"github.com/clof-go/clof/internal/clof"
@@ -24,6 +25,7 @@ import (
 	"github.com/clof-go/clof/internal/lockapi"
 	"github.com/clof-go/clof/internal/locks"
 	"github.com/clof-go/clof/internal/rwlock"
+	"github.com/clof-go/clof/internal/seqlock"
 	"github.com/clof-go/clof/internal/shfllock"
 	"github.com/clof-go/clof/internal/topo"
 )
@@ -35,7 +37,7 @@ type Entry struct {
 	// "clof:tkt-clh-tkt-tkt".
 	Name string
 	// Family groups entries for filtering: "basic", "hbo", "cna", "shfl",
-	// "rwlock", "hmcs", "cohort", "clof", "cr".
+	// "rwlock", "hmcs", "cohort", "clof", "cr", "seq".
 	Family string
 	// New builds a fresh, unheld instance for machine m.
 	New func(m *topo.Machine) lockapi.Lock
@@ -125,6 +127,19 @@ func Locks() []Entry {
 			return cr.Restrict(m, clof.Must(hierFor(m), compFor("tkt-tkt-tkt-tkt")), cr.Opts{})
 		}},
 	)
+	// Seqlock-wrapped variants (internal/seqlock): the writer-side version
+	// bump over a basic lock and over the full CLoF composition — the seq:
+	// family whose lockapi.SeqReader capability the sharded store's
+	// optimistic read path keys on. Other combinations resolve dynamically
+	// (see dynamic); these two are the swept representatives.
+	out = append(out,
+		Entry{Name: "seq:tkt", Family: "seq", New: func(*topo.Machine) lockapi.Lock {
+			return seqlock.Wrap(locks.NewTicket(), seqlock.Opts{})
+		}},
+		Entry{Name: "seq:clof:tkt-tkt-tkt-tkt", Family: "seq", New: func(m *topo.Machine) lockapi.Lock {
+			return seqlock.Wrap(clof.Must(hierFor(m), compFor("tkt-tkt-tkt-tkt")), seqlock.Opts{})
+		}},
+	)
 	return out
 }
 
@@ -139,12 +154,55 @@ func ByName(name string) (Entry, bool) {
 }
 
 // Lookup returns the named entry, or an error that names the full catalog —
-// the one place sweep CLIs resolve user-supplied lock names.
+// the one place sweep CLIs resolve user-supplied lock names. Names the
+// static list doesn't carry still resolve when they compose the wrapper
+// families over a resolvable inner lock ("seq:rwlock", "cr:seq:tkt", ...).
 func Lookup(name string) (Entry, error) {
 	if e, ok := ByName(name); ok {
 		return e, nil
 	}
-	return Entry{}, fmt.Errorf("unknown lock %q (catalog: %s)", name, strings.Join(Names(), ", "))
+	if e, ok := dynamic(name); ok {
+		return e, nil
+	}
+	return Entry{}, fmt.Errorf("unknown lock %q (catalog: %s; wrapper prefixes seq:/cr: compose over any entry)",
+		name, strings.Join(Names(), ", "))
+}
+
+// dynamic resolves wrapper-composed names absent from the static list: a
+// "seq:" or "cr:" prefix over any resolvable inner name, recursively, so
+// every wrapper stacking order is nameable without a catalog entry per
+// combination. The static entries win first (Lookup checks ByName before
+// this), keeping the swept representatives canonical.
+func dynamic(name string) (Entry, bool) {
+	wrappers := []struct {
+		prefix, family string
+		wrap           func(m *topo.Machine, inner lockapi.Lock) lockapi.Lock
+	}{
+		{"seq:", "seq", func(_ *topo.Machine, inner lockapi.Lock) lockapi.Lock {
+			return seqlock.Wrap(inner, seqlock.Opts{})
+		}},
+		{"cr:", "cr", func(m *topo.Machine, inner lockapi.Lock) lockapi.Lock {
+			return cr.Restrict(m, inner, cr.Opts{})
+		}},
+	}
+	for _, w := range wrappers {
+		rest, ok := strings.CutPrefix(name, w.prefix)
+		if !ok {
+			continue
+		}
+		inner, ok := ByName(rest)
+		if !ok {
+			inner, ok = dynamic(rest)
+		}
+		if !ok {
+			return Entry{}, false
+		}
+		w := w
+		return Entry{Name: name, Family: w.family, New: func(m *topo.Machine) lockapi.Lock {
+			return w.wrap(m, inner.New(m))
+		}}, true
+	}
+	return Entry{}, false
 }
 
 // ByFamily returns the entries of one family tag, in catalog order.
@@ -158,38 +216,55 @@ func ByFamily(family string) []Entry {
 	return out
 }
 
-// Select resolves selectors — catalog names or "family:<tag>" filters — to
-// entries in catalog order, deduplicated. An empty selector list yields the
-// full catalog.
+// Select resolves selectors — catalog names, wrapper-composed names, or
+// "family:<tag>" filters — to deduplicated entries in a deterministic
+// order: static catalog entries first in catalog order, then dynamic
+// (wrapper-composed) names in first-selected order. An empty selector list
+// yields the full catalog.
+//
+// The two-tier ordering is what lets the wrapper families compose with the
+// rest of a sweep: the earlier implementation filtered a want-set against
+// the static listing, which silently dropped any dynamic name ("seq:rwlock",
+// "cr:seq:tkt") that Lookup had happily resolved.
 func Select(selectors []string) ([]Entry, error) {
 	if len(selectors) == 0 {
 		return Locks(), nil
 	}
-	want := map[string]bool{}
+	var resolved []Entry
 	for _, sel := range selectors {
 		if fam, ok := strings.CutPrefix(sel, "family:"); ok {
 			es := ByFamily(fam)
 			if len(es) == 0 {
 				return nil, fmt.Errorf("unknown lock family %q (families: %s)", fam, strings.Join(Families(), ", "))
 			}
-			for _, e := range es {
-				want[e.Name] = true
-			}
+			resolved = append(resolved, es...)
 			continue
 		}
 		e, err := Lookup(sel)
 		if err != nil {
 			return nil, err
 		}
-		want[e.Name] = true
+		resolved = append(resolved, e)
 	}
-	var out []Entry
-	for _, e := range Locks() {
-		if want[e.Name] {
-			out = append(out, e)
+	order := map[string]int{}
+	for i, n := range Names() {
+		order[n] = i
+	}
+	var static, dyn []Entry
+	seen := map[string]bool{}
+	for _, e := range resolved {
+		if seen[e.Name] {
+			continue
+		}
+		seen[e.Name] = true
+		if _, ok := order[e.Name]; ok {
+			static = append(static, e)
+		} else {
+			dyn = append(dyn, e)
 		}
 	}
-	return out, nil
+	sort.SliceStable(static, func(i, j int) bool { return order[static[i].Name] < order[static[j].Name] })
+	return append(static, dyn...), nil
 }
 
 // Names lists the catalog names in catalog order.

@@ -119,6 +119,85 @@ func TestSelect(t *testing.T) {
 	}
 }
 
+// TestLookupDynamicWrappers: wrapper-prefixed names outside the static list
+// resolve by composing seq:/cr: over any resolvable inner lock, in either
+// stacking order, and the built locks carry the right capabilities.
+func TestLookupDynamicWrappers(t *testing.T) {
+	m := topo.X86Server()
+	for _, name := range []string{"seq:rwlock", "seq:mcs", "cr:seq:tkt", "seq:cr:tkt", "cr:cr:mcs"} {
+		e, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%s): %v", name, err)
+		}
+		if e.Name != name {
+			t.Errorf("Lookup(%s) named itself %q", name, e.Name)
+		}
+		l := e.New(m)
+		p := lockapi.NewNativeProc(0)
+		c := l.NewCtx()
+		l.Acquire(p, c)
+		l.Release(p, c)
+		if strings.HasPrefix(name, "seq:") {
+			if _, ok := l.(lockapi.SeqReader); !ok {
+				t.Errorf("%s lost the SeqReader capability", name)
+			}
+		}
+	}
+	// The seqlock wrapper preserves the inner reader-writer path.
+	e, _ := Lookup("seq:rwlock")
+	if _, ok := e.New(m).(lockapi.RWLocker); !ok {
+		t.Error("seq:rwlock lost the RWLocker capability")
+	}
+	// A bogus inner lock fails no matter how it is wrapped.
+	for _, name := range []string{"seq:nope", "cr:seq:nope", "seq:"} {
+		if _, err := Lookup(name); err == nil {
+			t.Errorf("Lookup(%s) resolved a bogus inner lock", name)
+		}
+	}
+}
+
+// TestSelectWrapperFamilies: satellite regression — mixing family filters
+// with dynamic wrapper-composed names must dedupe and keep every resolved
+// entry in a deterministic order (static catalog entries in catalog order,
+// then dynamic names in first-selected order). The pre-fix Select dropped
+// dynamic names on the floor.
+func TestSelectWrapperFamilies(t *testing.T) {
+	sel := []string{"seq:rwlock", "family:seq", "cr:seq:tkt", "seq:tkt", "seq:rwlock"}
+	es, err := Select(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range es {
+		names = append(names, e.Name)
+	}
+	// family:seq contributes the static entries; seq:tkt is one of them
+	// (deduped); the two dynamic names follow in first-selected order.
+	want := []string{"seq:tkt", "seq:clof:tkt-tkt-tkt-tkt", "seq:rwlock", "cr:seq:tkt"}
+	if strings.Join(names, " ") != strings.Join(want, " ") {
+		t.Fatalf("Select(%v) = %v, want %v", sel, names, want)
+	}
+	// Deterministic: a second resolution is identical.
+	es2, err := Select(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range es {
+		if es[i].Name != es2[i].Name {
+			t.Fatalf("Select unstable at %d: %q vs %q", i, es[i].Name, es2[i].Name)
+		}
+	}
+	// Every selected entry constructs.
+	m := topo.X86Server()
+	for _, e := range es {
+		l := e.New(m)
+		p := lockapi.NewNativeProc(0)
+		c := l.NewCtx()
+		l.Acquire(p, c)
+		l.Release(p, c)
+	}
+}
+
 // TestFamiliesCoverIssueMinimum: the chaos sweep needs >= 3 families.
 func TestFamiliesCoverIssueMinimum(t *testing.T) {
 	if f := Families(); len(f) < 3 {

@@ -149,8 +149,24 @@ type ctx struct {
 // Restrict wraps inner in a concurrency-restriction combinator for machine
 // m. Only safe during single-threaded setup. Panics if the machine has more
 // than 64 cohorts at the chosen level (use a coarser Level).
-func Restrict(m *topo.Machine, inner lockapi.Lock, o Opts) *Restricted {
-	return newRestricted(m, inner, o)
+//
+// The returned lock additionally forwards inner's lockapi.RWLocker and
+// lockapi.SeqReader capabilities when inner has them (see forward.go for
+// why those paths bypass admission control), which is why the result is an
+// interface: the concrete type depends on inner's capability surface.
+func Restrict(m *topo.Machine, inner lockapi.Lock, o Opts) lockapi.Lock {
+	l := newRestricted(m, inner, o)
+	rw, _ := inner.(lockapi.RWLocker)
+	sq, _ := inner.(lockapi.SeqReader)
+	switch {
+	case rw != nil && sq != nil:
+		return &RestrictedRWSeq{RestrictedRW: RestrictedRW{Restricted: l, rw: rw}, sq: sq}
+	case rw != nil:
+		return &RestrictedRW{Restricted: l, rw: rw}
+	case sq != nil:
+		return &RestrictedSeq{Restricted: l, sq: sq}
+	}
+	return l
 }
 
 // newRestricted is the single-threaded constructor behind Restrict.

@@ -64,17 +64,18 @@ func TestRestrictTryAcquire(t *testing.T) {
 	if !lockapi.SupportsTry(l) {
 		t.Fatal("restricted ticket lock must support trylock")
 	}
+	tl := l.(lockapi.TryLocker)
 	p0 := lockapi.NewNativeProc(0)
 	c0, c1 := l.NewCtx(), l.NewCtx()
-	if !l.TryAcquire(p0, c0) {
+	if !tl.TryAcquire(p0, c0) {
 		t.Fatal("uncontended TryAcquire failed")
 	}
 	p1 := lockapi.NewNativeProc(48)
-	if l.TryAcquire(p1, c1) {
+	if tl.TryAcquire(p1, c1) {
 		t.Fatal("TryAcquire succeeded while inner lock held")
 	}
 	l.Release(p0, c0)
-	if !l.TryAcquire(p1, c1) {
+	if !tl.TryAcquire(p1, c1) {
 		t.Fatal("TryAcquire failed on a free lock with a reused ctx")
 	}
 	l.Release(p1, c1)
@@ -86,7 +87,7 @@ func TestRestrictDeclinesTryWhenInnerCannot(t *testing.T) {
 	if lockapi.SupportsTry(l) {
 		t.Fatal("wrapper must decline trylock when the inner lock lacks it")
 	}
-	if l.TryAcquire(lockapi.NewNativeProc(0), l.NewCtx()) {
+	if l.(lockapi.TryLocker).TryAcquire(lockapi.NewNativeProc(0), l.NewCtx()) {
 		t.Fatal("TryAcquire must fail when unsupported")
 	}
 }
@@ -94,17 +95,17 @@ func TestRestrictDeclinesTryWhenInnerCannot(t *testing.T) {
 func TestRestrictCapabilityForwarding(t *testing.T) {
 	m := topo.X86Server()
 	l := cr.Restrict(m, locks.NewTicket(), cr.Opts{})
-	if !l.Fair() {
+	if !lockapi.Fair(l) {
 		t.Error("restricted ticket lock should report fair")
 	}
 	broken := cr.Restrict(m, locks.NewTicket(), cr.Opts{BreakRecirculation: true})
-	if broken.Fair() {
+	if lockapi.Fair(broken) {
 		t.Error("broken recirculation variant must not report fair")
 	}
 	p := lockapi.NewNativeProc(0)
 	c := l.NewCtx()
 	l.Acquire(p, c)
-	if l.HasWaiters(p, c) {
+	if l.(lockapi.WaiterDetector).HasWaiters(p, c) {
 		t.Error("HasWaiters true with a lone holder")
 	}
 	l.Release(p, c)
@@ -120,14 +121,14 @@ func TestRestrictObserverEdges(t *testing.T) {
 		func(lockapi.Proc) { rels++ },
 	)
 	got := lockapi.Instrument(l, obs)
-	if got != lockapi.Lock(l) {
+	if got != l {
 		t.Fatal("Instrument should annotate the wrapper in place (native hooks)")
 	}
 	p := lockapi.NewNativeProc(0)
 	c := l.NewCtx()
 	l.Acquire(p, c)
 	l.Release(p, c)
-	if !l.TryAcquire(p, c) {
+	if !l.(lockapi.TryLocker).TryAcquire(p, c) {
 		t.Fatal("uncontended TryAcquire failed")
 	}
 	l.Release(p, c)

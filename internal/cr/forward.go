@@ -1,0 +1,81 @@
+package cr
+
+import (
+	"github.com/clof-go/clof/internal/lockapi"
+)
+
+// This file holds the capability-forwarding variants Restrict selects from
+// when the inner lock offers a reader path. Both paths deliberately bypass
+// the admission machinery:
+//
+//   - Shared (reader-writer) acquisitions go straight to the inner lock's
+//     AcquireShared. Concurrency restriction exists to stop scalability
+//     collapse on the exclusive path — spinner herds burning coherence
+//     bandwidth behind one holder. A reader-writer lock's shared path has no
+//     such collapse mode (readers ride per-cohort counters and never convoy
+//     behind each other), so parking readers in the passive queues would add
+//     handover latency without preventing anything. Writers still pay full
+//     admission.
+//
+//   - Seqlock optimistic reads (ReadSeq/ReadValidate) only load the version
+//     cell; there is nothing to restrict, and hiding the capability would
+//     silently demote the sharded store's lock-free read path to queued
+//     exclusive acquisitions — the opposite of what the combinator is for.
+//
+// The conformance gate for this forwarding is locktest.WrapperConformance,
+// which internal/locktest's wrapper test runs for cr over every catalog
+// entry, seq: and rwlock families included.
+
+// RestrictedRW is a Restricted whose inner lock is a lockapi.RWLocker;
+// shared acquisitions forward to the inner reader path unrestricted.
+type RestrictedRW struct {
+	*Restricted
+	rw lockapi.RWLocker
+}
+
+// AcquireShared implements lockapi.RWLocker on the inner lock's reader path.
+func (l *RestrictedRW) AcquireShared(p lockapi.Proc, c lockapi.Ctx) {
+	l.rw.AcquireShared(p, c.(*ctx).inner)
+}
+
+// ReleaseShared implements lockapi.RWLocker.
+func (l *RestrictedRW) ReleaseShared(p lockapi.Proc, c lockapi.Ctx) {
+	l.rw.ReleaseShared(p, c.(*ctx).inner)
+}
+
+// RestrictedSeq is a Restricted whose inner lock is a lockapi.SeqReader;
+// optimistic reads forward to the inner validated-read path unrestricted.
+type RestrictedSeq struct {
+	*Restricted
+	sq lockapi.SeqReader
+}
+
+// ReadSeq implements lockapi.SeqReader.
+func (l *RestrictedSeq) ReadSeq(p lockapi.Proc) uint64 { return l.sq.ReadSeq(p) }
+
+// ReadValidate implements lockapi.SeqReader.
+func (l *RestrictedSeq) ReadValidate(p lockapi.Proc, s uint64) bool {
+	return l.sq.ReadValidate(p, s)
+}
+
+// RestrictedRWSeq forwards both reader capabilities (e.g. cr over
+// seq:rwlock).
+type RestrictedRWSeq struct {
+	RestrictedRW
+	sq lockapi.SeqReader
+}
+
+// ReadSeq implements lockapi.SeqReader.
+func (l *RestrictedRWSeq) ReadSeq(p lockapi.Proc) uint64 { return l.sq.ReadSeq(p) }
+
+// ReadValidate implements lockapi.SeqReader.
+func (l *RestrictedRWSeq) ReadValidate(p lockapi.Proc, s uint64) bool {
+	return l.sq.ReadValidate(p, s)
+}
+
+var (
+	_ lockapi.RWLocker  = (*RestrictedRW)(nil)
+	_ lockapi.SeqReader = (*RestrictedSeq)(nil)
+	_ lockapi.RWLocker  = (*RestrictedRWSeq)(nil)
+	_ lockapi.SeqReader = (*RestrictedRWSeq)(nil)
+)

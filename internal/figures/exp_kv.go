@@ -20,8 +20,8 @@ const (
 	// thread, enough to resolve the shard-scaling shapes.
 	kvHorizonNS = 2_000_000
 	// KVThreads is the fixed serving thread count: enough contention that a
-	// single global lock is the bottleneck, well under the x86 platform's 96
-	// hardware threads so placement stays dense.
+	// single global lock is the bottleneck, well under either platform's
+	// hardware thread count so placement stays dense.
 	KVThreads = 32
 	// kvKeys is the synthetic keyspace size.
 	kvKeys = 4096
@@ -31,26 +31,59 @@ const (
 // pre-refactor engine: one global lock.
 var KVShards = []int{1, 2, 4, 8, 16}
 
-// KVLocks names the catalog entries swept as shard locks: the plain spinlock
-// baselines, the reader-writer adapter (shared fast path for the read-heavy
-// mixes), the full CLoF composition, and the concurrency-restricted ticket
-// lock.
-var KVLocks = []string{"tkt", "mcs", "rwlock", "clof:tkt-tkt-tkt-tkt", "cr:tkt"}
+// KVPessimisticLocks names the catalog entries whose every read takes a shard
+// lock (exclusive or shared): the plain spinlock baselines, the reader-writer
+// adapter (shared fast path for the read-heavy mixes), the full CLoF
+// composition, and the concurrency-restricted ticket lock. The optimistic
+// acceptance criterion (TestKVQuick) quantifies over exactly this list.
+var KVPessimisticLocks = []string{"tkt", "mcs", "rwlock", "clof:tkt-tkt-tkt-tkt", "cr:tkt"}
+
+// KVSeqLocks names the seq: family entries swept alongside them: readers
+// validate a version word instead of acquiring, so the read path performs no
+// atomic read-modify-write at all (DESIGN.md S33).
+var KVSeqLocks = []string{"seq:tkt", "seq:clof:tkt-tkt-tkt-tkt"}
+
+// KVLocks is the full lock sweep of every kv figure.
+var KVLocks = append(append([]string{}, KVPessimisticLocks...), KVSeqLocks...)
 
 // KV measures the sharded serving engine (internal/store, DESIGN.md S32) on
 // the simulator: one figure per YCSB-style mix, throughput over shard count
 // for each lock family, at a fixed KVThreads serving threads on the x86
-// platform. Keys are drawn Zipfian (theta 0.99, hot ranks hash-scattered as
-// in YCSB) and routed by hash partition, except the scan mix, which runs
-// range-partitioned so merged scans visit consecutive shards the way the
-// native store's range router does. Every point attaches a shard-resolved
-// obs report (obs.CombineShards) to its manifest record, so results.json
-// carries per-shard acquisition counts, hold times, and fairness alongside
-// the curves. The headline note — and TestKVQuick's assertion — is the
-// refactor's acceptance criterion: sharded rwlock beats the single global
-// lock on the read-mostly mix.
+// platform — plus the read-mostly mix repeated on the Armv8 platform, the
+// figure the optimistic-read acceptance criterion quantifies over on both
+// modeled architectures. Keys are drawn Zipfian (theta 0.99, hot ranks
+// hash-scattered as in YCSB) and routed by hash partition, except the scan
+// mix, which runs range-partitioned so merged scans visit consecutive shards
+// the way the native store's range router does. Every point attaches a
+// shard-resolved obs report (obs.CombineShards) to its manifest record, so
+// results.json carries per-shard acquisition counts, hold times, OCC
+// retry/fallback tallies, and fairness alongside the curves. The headline
+// notes — and TestKVQuick's assertions — are the acceptance criteria: sharded
+// rwlock beats the single global lock on the read-mostly mix, and the
+// optimistic seq: rows beat every pessimistic lock there, rwlock included.
 func KV(o Options) []*Figure {
-	mach := topo.X86Server()
+	var figs []*Figure
+	for _, mix := range store.Mixes() {
+		figs = append(figs, kvFigure(o, topo.X86Server(), "x86", "", mix))
+	}
+	figs = append(figs, kvFigure(o, topo.Armv8Server(), "armv8", "-armv8", store.ReadMostly))
+	return figs
+}
+
+// KVOCC is the focused alias behind `clof-figures -exp occ`: just the two
+// read-mostly sweeps (x86 and Armv8) the optimistic-read acceptance criterion
+// is asserted on, skipping the write-heavy/rmw/scan panels. Figure IDs match
+// KV's, so the emitted CSVs are the same artifacts.
+func KVOCC(o Options) []*Figure {
+	return []*Figure{
+		kvFigure(o, topo.X86Server(), "x86", "", store.ReadMostly),
+		kvFigure(o, topo.Armv8Server(), "armv8", "-armv8", store.ReadMostly),
+	}
+}
+
+// kvFigure runs one mix on one platform. idSuffix distinguishes the non-x86
+// repeats ("" for the x86 panels, "-armv8" for the Kunpeng read-mostly one).
+func kvFigure(o Options, mach *topo.Machine, platform, idSuffix string, mix store.Mix) *Figure {
 	grid := KVShards
 	horizon := int64(kvHorizonNS)
 	if o.Quick {
@@ -58,97 +91,95 @@ func KV(o Options) []*Figure {
 		horizon /= 2
 	}
 
-	var figs []*Figure
-	for _, mix := range store.Mixes() {
-		mix := mix
-		dist, rangePart := store.DistZipfian, false
-		if mix.ScanPct > 0 {
-			dist, rangePart = store.DistUniform, true
-		}
-		f := &Figure{
-			ID: "kv-" + mix.Name,
-			Title: fmt.Sprintf("sharded serving on %s, mix %s (%s keys, %d threads)",
-				mach.Name, mix.Name, dist, KVThreads),
-			XLabel: "shards",
-			YLabel: "iter/us",
-		}
-		spec := exp.Spec{
-			Name: f.ID, Platform: "x86", Workload: "kv",
-			Threads: []int{KVThreads}, Runs: o.Runs, Quick: o.Quick,
-			Locks: KVLocks,
-			Notes: fmt.Sprintf("shard grid %v; dist=%s range=%v; horizon=%dns; keys=%d",
-				grid, dist, rangePart, horizon, kvKeys),
-		}
-		var points []exp.Point
-		for _, name := range KVLocks {
-			e, err := catalog.Lookup(name)
-			if err != nil {
-				panic(err)
-			}
-			for _, s := range grid {
-				e, s := e, s
-				points = append(points, exp.Point{
-					Key: fmt.Sprintf("lock=%s/shards=%d", e.Name, s),
-					Run: func(seed uint64) exp.Sample {
-						collectors := make([]*obs.Collector, s)
-						for i := range collectors {
-							collectors[i] = obs.NewCollector(mach, obs.Options{})
-						}
-						res, err := workload.RunKV(workload.KVConfig{
-							Machine: mach, Threads: KVThreads, Shards: s,
-							NewShardLock:   func() lockapi.Lock { return e.New(mach) },
-							Horizon:        horizon,
-							Mix:            mix,
-							Dist:           dist,
-							RangePartition: rangePart,
-							Keys:           kvKeys,
-							Seed:           seed,
-							Observer:       func(i int) lockapi.Observer { return collectors[i] },
-						})
-						if err != nil {
-							return exp.Sample{Err: err.Error()}
-						}
-						rep := obs.CombineShards(e.Name, collectors, res.SharedPerShard)
-						raw, err := json.Marshal(rep)
-						if err != nil {
-							return exp.Sample{Err: err.Error()}
-						}
-						return exp.Sample{
-							Throughput: res.ThroughputOpsPerUs(),
-							Jain:       res.Jain(),
-							Total:      res.Total,
-							Metrics:    kvMetrics(res),
-							Obs:        raw,
-						}
-					},
-				})
-			}
-		}
-		results := o.runner().Run(spec, points)
-
-		i := 0
-		violations := 0.0
-		for _, name := range KVLocks {
-			s := Series{Name: name}
-			for _, n := range grid {
-				r := results[i]
-				i++
-				s.X = append(s.X, n)
-				s.Y = append(s.Y, r.Throughput())
-				violations += r.Metrics["violations"]
-			}
-			f.Series = append(f.Series, s)
-		}
-		f.Notes = append(f.Notes, kvNotes(f, grid, violations)...)
-		figs = append(figs, f)
+	dist, rangePart := store.DistZipfian, false
+	if mix.ScanPct > 0 {
+		dist, rangePart = store.DistUniform, true
 	}
-	return figs
+	f := &Figure{
+		ID: "kv-" + mix.Name + idSuffix,
+		Title: fmt.Sprintf("sharded serving on %s, mix %s (%s keys, %d threads)",
+			mach.Name, mix.Name, dist, KVThreads),
+		XLabel: "shards",
+		YLabel: "iter/us",
+	}
+	spec := exp.Spec{
+		Name: f.ID, Platform: platform, Workload: "kv",
+		Threads: []int{KVThreads}, Runs: o.Runs, Quick: o.Quick,
+		Locks: KVLocks,
+		Notes: fmt.Sprintf("shard grid %v; dist=%s range=%v; horizon=%dns; keys=%d",
+			grid, dist, rangePart, horizon, kvKeys),
+	}
+	var points []exp.Point
+	for _, name := range KVLocks {
+		e, err := catalog.Lookup(name)
+		if err != nil {
+			panic(err)
+		}
+		for _, s := range grid {
+			e, s := e, s
+			points = append(points, exp.Point{
+				Key: fmt.Sprintf("lock=%s/shards=%d", e.Name, s),
+				Run: func(seed uint64) exp.Sample {
+					collectors := make([]*obs.Collector, s)
+					for i := range collectors {
+						collectors[i] = obs.NewCollector(mach, obs.Options{})
+					}
+					res, err := workload.RunKV(workload.KVConfig{
+						Machine: mach, Threads: KVThreads, Shards: s,
+						NewShardLock:   func() lockapi.Lock { return e.New(mach) },
+						Horizon:        horizon,
+						Mix:            mix,
+						Dist:           dist,
+						RangePartition: rangePart,
+						Keys:           kvKeys,
+						Seed:           seed,
+						Observer:       func(i int) lockapi.Observer { return collectors[i] },
+					})
+					if err != nil {
+						return exp.Sample{Err: err.Error()}
+					}
+					rep := obs.CombineShards(e.Name, collectors, res.SharedPerShard, res.OCCStats())
+					raw, err := json.Marshal(rep)
+					if err != nil {
+						return exp.Sample{Err: err.Error()}
+					}
+					return exp.Sample{
+						Throughput: res.ThroughputOpsPerUs(),
+						Jain:       res.Jain(),
+						Total:      res.Total,
+						Metrics:    kvMetrics(res),
+						Obs:        raw,
+					}
+				},
+			})
+		}
+	}
+	results := o.runner().Run(spec, points)
+
+	i := 0
+	violations := 0.0
+	for _, name := range KVLocks {
+		s := Series{Name: name}
+		for _, n := range grid {
+			r := results[i]
+			i++
+			s.X = append(s.X, n)
+			s.Y = append(s.Y, r.Throughput())
+			violations += r.Metrics["violations"]
+		}
+		f.Series = append(f.Series, s)
+	}
+	f.Notes = append(f.Notes, kvNotes(f, grid, violations)...)
+	return f
 }
 
 // kvMetrics extracts the per-point scalars recorded in the manifest: the
-// exclusion/shared invariant tally (must be 0), the shared-mode share of all
-// shard acquisitions, and the hot shard's fraction of them (attribution skew;
-// 1/shards would be a perfectly even split).
+// invariant tally (exclusion and shared-mode violations plus torn optimistic
+// reads certified by a passing validation — all must be 0), the shared-mode
+// share of all shard acquisitions, the hot shard's fraction of them
+// (attribution skew; 1/shards would be a perfectly even split), and — for the
+// seq: rows — the optimistic-read volume with its validation-failure and
+// pessimistic-fallback tallies.
 func kvMetrics(res workload.KVResult) map[string]float64 {
 	var acq, shared, hot uint64
 	for i, c := range res.PerShard {
@@ -158,12 +189,23 @@ func kvMetrics(res workload.KVResult) map[string]float64 {
 			hot = c
 		}
 	}
+	var opt, vfail, fall uint64
+	for i := range res.OptimisticPerShard {
+		opt += res.OptimisticPerShard[i]
+		vfail += res.OCCValidationFailsPerShard[i]
+		fall += res.OCCFallbacksPerShard[i]
+	}
 	m := map[string]float64{
-		"violations": float64(res.ExclusionViolations + res.SharedViolations),
+		"violations": float64(res.ExclusionViolations + res.SharedViolations + res.TornReads),
 	}
 	if acq > 0 {
 		m["shared_frac"] = float64(shared) / float64(acq)
 		m["hot_shard_frac"] = float64(hot) / float64(acq)
+	}
+	if opt > 0 {
+		m["occ_optimistic"] = float64(opt)
+		m["occ_vfail_frac"] = float64(vfail) / float64(opt)
+		m["occ_fallbacks"] = float64(fall)
 	}
 	return m
 }
@@ -184,9 +226,23 @@ func KVSpeedup(f *Figure, lock, baseline string, grid []int) float64 {
 	return s.At(max) / b.At(1)
 }
 
+// KVRatioAt returns f's throughput ratio of lock a over lock b at the given
+// shard count — the same-geometry comparison the optimistic-read criterion
+// uses (seq: row over each pessimistic row at the grid maximum). Zero when
+// either series is absent or b is degenerate there.
+func KVRatioAt(f *Figure, a, b string, shards int) float64 {
+	sa, ok1 := f.Get(a)
+	sb, ok2 := f.Get(b)
+	if !ok1 || !ok2 || sb.At(shards) == 0 {
+		return 0
+	}
+	return sa.At(shards) / sb.At(shards)
+}
+
 // kvNotes derives the figure's observations: each lock's scaling from 1 shard
-// to the grid maximum, the acceptance-criterion headline (sharded rwlock vs
-// the 1-shard tkt global lock), and the invariant tally.
+// to the grid maximum, the two acceptance-criterion headlines (sharded rwlock
+// vs the 1-shard tkt global lock; the optimistic seq:tkt row vs the best-case
+// pessimistic reader, rwlock, at equal shards), and the invariant tally.
 func kvNotes(f *Figure, grid []int, violations float64) []string {
 	max := grid[len(grid)-1]
 	var notes []string
@@ -201,6 +257,9 @@ func kvNotes(f *Figure, grid []int, violations float64) []string {
 	notes = append(notes, fmt.Sprintf(
 		"sharded rwlock (%d shards) vs single global tkt lock: %.2fx",
 		max, KVSpeedup(f, "rwlock", "tkt", grid)))
-	notes = append(notes, fmt.Sprintf("exclusion/shared violations across the sweep: %.0f", violations))
+	notes = append(notes, fmt.Sprintf(
+		"optimistic seq:tkt vs sharded rwlock at %d shards: %.2fx",
+		max, KVRatioAt(f, "seq:tkt", "rwlock", max)))
+	notes = append(notes, fmt.Sprintf("exclusion/shared/torn violations across the sweep: %.0f", violations))
 	return notes
 }

@@ -48,19 +48,27 @@ type Options struct {
 
 // DB is a small LSM key-value store: one mutable skiplist memtable plus a
 // stack of immutable sorted runs, merged when MaxRuns is exceeded. All
-// operations acquire the configured lock, making the DB the contended
-// resource the paper's readrandom benchmark measures.
+// mutating operations acquire the configured lock, making the DB the
+// contended resource the paper's readrandom benchmark measures; read-only
+// operations may additionally run unlocked under seqlock validation (the
+// package comment describes the two reader disciplines).
 type DB struct {
 	opts Options
 	lock lockapi.Lock
 
-	mem  *skiplist
-	runs []*run // newest first
+	// mem and runs are the reader-visible layer pointers, atomically
+	// published so the unlocked read paths see a sound (if possibly mixed)
+	// layer set. Only freezeLocked/compactLocked swap them, under the lock;
+	// runs is published before mem is reset so no entry is ever absent from
+	// both layers at once.
+	mem  atomic.Pointer[skiplist]
+	runs atomic.Pointer[[]*run] // newest first
 
 	// Operation counters. Atomic so that read-only operations may run under
-	// a shared (reader) acquisition of the DB lock — the sharded store's
-	// rwlock fast path — without racing each other; mutating operations and
-	// StatsSnapshot still require the exclusive lock.
+	// a shared (reader) acquisition of the DB lock — or with no lock at all
+	// on the validated optimistic path — without racing each other;
+	// mutating operations and StatsSnapshot still require the exclusive
+	// lock.
 	gets, puts, deletes, scans, compactions atomic.Uint64
 }
 
@@ -76,7 +84,10 @@ func Open(opts Options) *DB {
 	if lock == nil {
 		lock = lockapi.Noop{}
 	}
-	return &DB{opts: opts, lock: lock, mem: newSkiplist(opts.Seed)}
+	db := &DB{opts: opts, lock: lock}
+	db.mem.Store(newSkiplist(opts.Seed))
+	db.runs.Store(&[]*run{})
+	return db
 }
 
 // Session is a per-worker handle carrying the lock context; every worker
@@ -97,36 +108,50 @@ func (s *Session) Put(p lockapi.Proc, key, value []byte) {
 	db := s.db
 	db.lock.Acquire(p, s.ctx)
 	db.puts.Add(1)
-	db.mem.putEntry(entry{
+	mem := db.mem.Load()
+	mem.putEntry(entry{
 		key:   append([]byte(nil), key...),
 		value: append([]byte(nil), value...),
 	})
-	if db.mem.bytes >= db.opts.MemtableBytes {
+	if mem.bytes >= db.opts.MemtableBytes {
 		db.freezeLocked()
 	}
 	db.lock.Release(p, s.ctx)
 }
 
-// Get fetches a key: memtable first, then runs newest-to-oldest. A
-// tombstone in a newer layer shadows older values.
+// getMerged is the layer-merge read: memtable first, then runs
+// newest-to-oldest, a tombstone in a newer layer shadowing older values.
+// Allocation-free; safe under the lock and on the unlocked validated path.
+func (db *DB) getMerged(key []byte) ([]byte, bool) {
+	if e, found := db.mem.Load().get(key); found {
+		return e.value, !e.tombstone
+	}
+	for _, r := range *db.runs.Load() {
+		if e, found := r.get(key); found {
+			return e.value, !e.tombstone
+		}
+	}
+	return nil, false
+}
+
+// Get fetches a key under the DB lock.
 func (s *Session) Get(p lockapi.Proc, key []byte) ([]byte, bool) {
 	db := s.db
 	db.lock.Acquire(p, s.ctx)
 	db.gets.Add(1)
-	var v []byte
-	var ok bool
-	if e, found := db.mem.get(key); found {
-		v, ok = e.value, !e.tombstone
-	} else {
-		for _, r := range db.runs {
-			if e, found := r.get(key); found {
-				v, ok = e.value, !e.tombstone
-				break
-			}
-		}
-	}
+	v, ok := db.getMerged(key)
 	db.lock.Release(p, s.ctx)
 	return v, ok
+}
+
+// GetUnlocked fetches a key with no lock held — the optimistic fast path of
+// the sharded store. The read is data-race-free but unserialized: the
+// caller MUST bracket it in seqlock ReadSeq/ReadValidate and discard the
+// result when validation fails, because a concurrent writer may have left a
+// mixed layer state behind the returned value. Allocation-free.
+func (db *DB) GetUnlocked(key []byte) ([]byte, bool) {
+	db.gets.Add(1)
+	return db.getMerged(key)
 }
 
 // Delete removes a key by writing a tombstone (LSM deletion): the key
@@ -136,24 +161,24 @@ func (s *Session) Delete(p lockapi.Proc, key []byte) {
 	db := s.db
 	db.lock.Acquire(p, s.ctx)
 	db.deletes.Add(1)
-	db.mem.putEntry(entry{key: append([]byte(nil), key...), tombstone: true})
-	if db.mem.bytes >= db.opts.MemtableBytes {
+	mem := db.mem.Load()
+	mem.putEntry(entry{key: append([]byte(nil), key...), tombstone: true})
+	if mem.bytes >= db.opts.MemtableBytes {
 		db.freezeLocked()
 	}
 	db.lock.Release(p, s.ctx)
 }
 
-// Scan visits every live key in [start, end) in key order, merged across
-// the memtable and all runs (newest value wins, tombstones skip). fn
-// returning false stops the scan. A nil end scans to the last key.
-func (s *Session) Scan(p lockapi.Proc, start, end []byte, fn func(key, value []byte) bool) {
-	db := s.db
-	db.lock.Acquire(p, s.ctx)
-	db.scans.Add(1)
+// scanMerged visits every live key in [start, end) in key order, merged
+// across the memtable and all runs (newest value wins, tombstones skip). fn
+// returning false stops the scan. Shared by the locked and unlocked scan
+// paths.
+func (db *DB) scanMerged(start, end []byte, fn func(key, value []byte) bool) {
 	// Sources newest-first: memtable, then runs.
-	sources := make([][]entry, 0, len(db.runs)+1)
-	sources = append(sources, db.mem.entriesFrom(start))
-	for _, r := range db.runs {
+	runs := *db.runs.Load()
+	sources := make([][]entry, 0, len(runs)+1)
+	sources = append(sources, db.mem.Load().entriesFrom(start))
+	for _, r := range runs {
 		i := sort.Search(len(r.entries), func(i int) bool {
 			return bytes.Compare(r.entries[i].key, start) >= 0
 		})
@@ -193,17 +218,42 @@ func (s *Session) Scan(p lockapi.Proc, start, end []byte, fn func(key, value []b
 			break
 		}
 	}
+}
+
+// Scan visits every live key in [start, end) in key order under the DB
+// lock; see scanMerged for the merge discipline.
+func (s *Session) Scan(p lockapi.Proc, start, end []byte, fn func(key, value []byte) bool) {
+	db := s.db
+	db.lock.Acquire(p, s.ctx)
+	db.scans.Add(1)
+	db.scanMerged(start, end, fn)
 	db.lock.Release(p, s.ctx)
 }
 
-// freezeLocked turns the memtable into a run; caller holds the lock.
+// ScanUnlocked is the optimistic counterpart of Scan: same merge, no lock.
+// Like GetUnlocked it requires seqlock validation — and because a failed
+// validation arrives only after the scan completes, callers must buffer
+// fn's observations and publish them only if validation succeeds (the
+// sharded store's Scan does exactly that).
+func (db *DB) ScanUnlocked(start, end []byte, fn func(key, value []byte) bool) {
+	db.scans.Add(1)
+	db.scanMerged(start, end, fn)
+}
+
+// freezeLocked turns the memtable into a run; caller holds the lock. The
+// new run stack is published before the memtable pointer is reset, so an
+// unlocked reader interleaving with the freeze finds every entry in at
+// least one layer (possibly both — validation, not the freeze, is what
+// makes its snapshot consistent).
 func (db *DB) freezeLocked() {
-	if db.mem.n == 0 {
+	mem := db.mem.Load()
+	if mem.n == 0 {
 		return
 	}
-	db.runs = append([]*run{{entries: db.mem.entries()}}, db.runs...)
-	db.mem = newSkiplist(db.opts.Seed + uint64(len(db.runs)))
-	if len(db.runs) > db.opts.MaxRuns {
+	newRuns := append([]*run{{entries: mem.entries()}}, *db.runs.Load()...)
+	db.runs.Store(&newRuns)
+	db.mem.Store(newSkiplist(db.opts.Seed + uint64(len(newRuns))))
+	if len(newRuns) > db.opts.MaxRuns {
 		db.compactLocked()
 	}
 }
@@ -212,9 +262,10 @@ func (db *DB) freezeLocked() {
 // tombstones — a full compaction, so shadowed deletions are safe to forget.
 func (db *DB) compactLocked() {
 	db.compactions.Add(1)
+	runs := *db.runs.Load()
 	merged := make(map[string]entry)
-	for i := len(db.runs) - 1; i >= 0; i-- { // oldest first; newer overwrite
-		for _, e := range db.runs[i].entries {
+	for i := len(runs) - 1; i >= 0; i-- { // oldest first; newer overwrite
+		for _, e := range runs[i].entries {
 			merged[string(e.key)] = e
 		}
 	}
@@ -228,7 +279,7 @@ func (db *DB) compactLocked() {
 	sort.Slice(entries, func(i, j int) bool {
 		return bytes.Compare(entries[i].key, entries[j].key) < 0
 	})
-	db.runs = []*run{{entries: entries}}
+	db.runs.Store(&[]*run{{entries: entries}})
 }
 
 // Flush freezes the current memtable (for tests and bulk loads).
@@ -271,7 +322,7 @@ func (s *Session) StatsSnapshot(p lockapi.Proc) Stats {
 		Deletes:     db.deletes.Load(),
 		Scans:       db.scans.Load(),
 		Compactions: db.compactions.Load(),
-		Runs:        len(db.runs),
+		Runs:        len(*db.runs.Load()),
 	}
 	db.lock.Release(p, s.ctx)
 	return st

@@ -66,7 +66,7 @@ func TestCompactionDropsTombstones(t *testing.T) {
 		}
 	}
 	// The surviving run must contain no tombstones.
-	for _, e := range db.runs[0].entries {
+	for _, e := range (*db.runs.Load())[0].entries {
 		if e.tombstone {
 			t.Fatalf("tombstone for %q survived full compaction", e.key)
 		}

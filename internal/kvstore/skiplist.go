@@ -5,35 +5,60 @@
 // pluggable lockapi.Lock, so any lock in this repository — basic, CLoF,
 // HMCS, CNA, ShflLock — can serve as the DB lock, exactly as the paper
 // swaps LevelDB's pthread mutex via LD_PRELOAD.
+//
+// Readers come in two disciplines. The locked paths (Session.Get/Scan) hold
+// the DB lock, exclusive or shared. The unlocked paths (DB.GetUnlocked,
+// DB.ScanUnlocked) support the sharded store's optimistic-read fast path
+// (DESIGN.md S33): all reader-visible state — skiplist links, value slots,
+// the memtable and run-stack pointers — is published through atomics, so an
+// unlocked reader is data-race-free and always observes structurally sound
+// memory. What it may observe is a *mixed* state (half of a concurrent
+// write); callers must certify every unlocked result through seqlock
+// validation and discard it on failure.
 package kvstore
 
 import (
 	"bytes"
+	"sync/atomic"
 
 	"github.com/clof-go/clof/internal/xrand"
 )
 
 const maxHeight = 12
 
-// skiplist is a single-writer skiplist keyed by []byte. Readers require
-// external synchronization (the DB lock), matching LevelDB's memtable
-// discipline under our global-lock benchmark.
+// skiplist is a single-writer skiplist keyed by []byte. Writers require
+// external synchronization (the DB lock); readers may traverse without the
+// lock — links and value slots are atomically published, LevelDB-memtable
+// style — provided they validate what they read (see the package comment).
 type skiplist struct {
-	head   *skipNode
-	height int
+	head *skipNode
+	// height is the current index height; racily read by unlocked readers
+	// (a stale height only costs extra comparisons, never misses keys,
+	// because level 0 is always complete).
+	height atomic.Int32
 	rng    *xrand.Rand
 	n      int
 	bytes  int
 }
 
+// valSlot is an immutable value+tombstone pair. Overwrites swap the node's
+// slot pointer instead of mutating in place, so an unlocked reader sees
+// either the old pair or the new pair, never a value/tombstone mix.
+type valSlot struct {
+	value     []byte
+	tombstone bool
+}
+
 type skipNode struct {
-	key, value []byte
-	tombstone  bool
-	next       [maxHeight]*skipNode
+	key  []byte
+	val  atomic.Pointer[valSlot]
+	next [maxHeight]atomic.Pointer[skipNode]
 }
 
 func newSkiplist(seed uint64) *skiplist {
-	return &skiplist{head: &skipNode{}, height: 1, rng: xrand.New(seed)}
+	s := &skiplist{head: &skipNode{}, rng: xrand.New(seed)}
+	s.height.Store(1)
+	return s
 }
 
 // randomHeight grows with probability 1/4 per level, as in LevelDB.
@@ -49,48 +74,57 @@ func (s *skiplist) randomHeight() int {
 // with the predecessor at every level when prev is non-nil.
 func (s *skiplist) findGreaterOrEqual(key []byte, prev *[maxHeight]*skipNode) *skipNode {
 	x := s.head
-	for level := s.height - 1; level >= 0; level-- {
-		for x.next[level] != nil && bytes.Compare(x.next[level].key, key) < 0 {
-			x = x.next[level]
+	for level := int(s.height.Load()) - 1; level >= 0; level-- {
+		for {
+			nx := x.next[level].Load()
+			if nx == nil || bytes.Compare(nx.key, key) >= 0 {
+				break
+			}
+			x = nx
 		}
 		if prev != nil {
 			prev[level] = x
 		}
 	}
-	return x.next[0]
+	return x.next[0].Load()
 }
 
-// putEntry inserts or overwrites an entry (possibly a tombstone).
+// putEntry inserts or overwrites an entry (possibly a tombstone). Caller
+// holds the DB lock (single writer); concurrent unlocked readers are
+// tolerated by publishing the node bottom-up after its fields are complete.
 func (s *skiplist) putEntry(e entry) {
 	var prev [maxHeight]*skipNode
 	if x := s.findGreaterOrEqual(e.key, &prev); x != nil && bytes.Equal(x.key, e.key) {
-		s.bytes += len(e.value) - len(x.value)
-		x.value = e.value
-		x.tombstone = e.tombstone
+		old := x.val.Load()
+		s.bytes += len(e.value) - len(old.value)
+		x.val.Store(&valSlot{value: e.value, tombstone: e.tombstone})
 		return
 	}
 	h := s.randomHeight()
-	if h > s.height {
-		for level := s.height; level < h; level++ {
+	if cur := int(s.height.Load()); h > cur {
+		for level := cur; level < h; level++ {
 			prev[level] = s.head
 		}
-		s.height = h
+		s.height.Store(int32(h))
 	}
-	node := &skipNode{key: e.key, value: e.value, tombstone: e.tombstone}
+	node := &skipNode{key: e.key}
+	node.val.Store(&valSlot{value: e.value, tombstone: e.tombstone})
 	for level := 0; level < h; level++ {
-		node.next[level] = prev[level].next[level]
-		prev[level].next[level] = node
+		node.next[level].Store(prev[level].next[level].Load())
+		prev[level].next[level].Store(node)
 	}
 	s.n++
 	s.bytes += len(e.key) + len(e.value) + 1
 }
 
 // get returns the entry for key; found is false if the key was never
-// written (a tombstone IS found).
+// written (a tombstone IS found). Safe both under the DB lock and on the
+// unlocked validated-read path.
 func (s *skiplist) get(key []byte) (e entry, found bool) {
 	x := s.findGreaterOrEqual(key, nil)
 	if x != nil && bytes.Equal(x.key, key) {
-		return entry{key: x.key, value: x.value, tombstone: x.tombstone}, true
+		v := x.val.Load()
+		return entry{key: x.key, value: v.value, tombstone: v.tombstone}, true
 	}
 	return entry{}, false
 }
@@ -104,13 +138,14 @@ func (s *skiplist) entries() []entry {
 func (s *skiplist) entriesFrom(start []byte) []entry {
 	var x *skipNode
 	if len(start) == 0 {
-		x = s.head.next[0]
+		x = s.head.next[0].Load()
 	} else {
 		x = s.findGreaterOrEqual(start, nil)
 	}
 	var out []entry
-	for ; x != nil; x = x.next[0] {
-		out = append(out, entry{key: x.key, value: x.value, tombstone: x.tombstone})
+	for ; x != nil; x = x.next[0].Load() {
+		v := x.val.Load()
+		out = append(out, entry{key: x.key, value: v.value, tombstone: v.tombstone})
 	}
 	return out
 }

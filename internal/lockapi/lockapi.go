@@ -190,6 +190,25 @@ type WaiterDetector interface {
 	HasWaiters(p Proc, c Ctx) bool
 }
 
+// WaiterInfo is the WaiterDetector analogue of TryInfo: implemented by
+// wrappers whose HasWaiters delegates to an inner lock that may not detect
+// waiters at all. Callers consult DetectsWaiters rather than type-asserting
+// WaiterDetector directly, exactly as SupportsTry guards TryLocker.
+type WaiterInfo interface {
+	WaitersDetectable() bool
+}
+
+// DetectsWaiters reports whether HasWaiters is actually usable on l: the
+// WaiterInfo answer when the lock provides one, the presence of
+// WaiterDetector otherwise.
+func DetectsWaiters(l Lock) bool {
+	if wi, ok := l.(WaiterInfo); ok {
+		return wi.WaitersDetectable()
+	}
+	_, ok := l.(WaiterDetector)
+	return ok
+}
+
 // FairnessInfo is implemented by locks that declare whether they guarantee
 // starvation freedom. CLoF compositions are fair iff all components are fair
 // (paper Theorem 4.1).

@@ -135,11 +135,15 @@ func (w *observedLock) TryAcquire(p Proc, c Ctx) bool {
 func (w *observedLock) TrySupported() bool { return SupportsTry(w.inner) }
 
 // HasWaiters implements WaiterDetector by delegation; it must only be
-// called when the wrapped lock implements the interface (as for TryAcquire,
-// capability consumers check first).
+// called when DetectsWaiters answers true (as for TryAcquire, capability
+// consumers check first).
 func (w *observedLock) HasWaiters(p Proc, c Ctx) bool {
 	return w.inner.(WaiterDetector).HasWaiters(p, c)
 }
+
+// WaitersDetectable implements WaiterInfo: detection is usable exactly when
+// the wrapped lock's is.
+func (w *observedLock) WaitersDetectable() bool { return DetectsWaiters(w.inner) }
 
 // Fair implements FairnessInfo by delegation.
 func (w *observedLock) Fair() bool { return Fair(w.inner) }

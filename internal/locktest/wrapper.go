@@ -44,6 +44,13 @@ func (e *edgeCounter) counts() (s, a, r uint64) {
 //   - waiter detection: if base detects waiters (lockapi.WaiterDetector),
 //     wrapped must too, report none on an uncontended hold, and detect a
 //     real parked waiter;
+//   - reader-path forwarding: if base serves shared acquisitions
+//     (lockapi.RWLocker), wrapped must too, two shared holders must coexist
+//     without blocking, and shared acquisitions must emit no observer edges
+//     (the obs layer's handover reconstruction assumes mutual exclusion);
+//     if base serves optimistic reads (lockapi.SeqReader), wrapped must
+//     too, an unheld read must sample even and validate, and a write cycle
+//     must invalidate an earlier sample (the version bump is forwarded);
 //   - observer pass-through: wrapped must implement lockapi.Instrumented,
 //     and its edge stream must stay balanced (starts == acquireds ==
 //     releaseds) across blocking cycles, successful tries, and failed tries
@@ -57,10 +64,15 @@ func WrapperConformance(t testing.TB, mach *topo.Machine, wrapped, base lockapi.
 	if lockapi.Fair(wrapped) && !lockapi.Fair(base) {
 		t.Error("wrapper declares Fair over an unfair inner lock")
 	}
-	if _, ok := base.(lockapi.WaiterDetector); ok {
-		if _, ok := wrapped.(lockapi.WaiterDetector); !ok {
-			t.Error("inner lock detects waiters but the wrapper dropped lockapi.WaiterDetector")
-		}
+	// Waiter detection is checked against base's usable capability
+	// (lockapi.DetectsWaiters, not a bare type assertion): a delegating
+	// wrapper keeps the HasWaiters method even when the lock at the bottom of
+	// the stack cannot detect, and calling it there would panic. The
+	// presence check and the behavioral exercise below both key on the
+	// DetectsWaiters answer.
+	baseDetects := lockapi.DetectsWaiters(base)
+	if baseDetects && !lockapi.DetectsWaiters(wrapped) {
+		t.Error("inner lock detects waiters but the wrapper dropped the capability (lockapi.DetectsWaiters)")
 	}
 
 	in, ok := wrapped.(lockapi.Instrumented)
@@ -83,18 +95,67 @@ func WrapperConformance(t testing.TB, mach *topo.Machine, wrapped, base lockapi.
 		t.Errorf("edge counts after %d blocking cycles = (%d,%d,%d), want balanced", cycles, s, a, r)
 	}
 
+	// Reader-path forwarding: shared acquisitions (RWLocker) and optimistic
+	// reads (SeqReader) must survive the wrapper.
+	if _, ok := base.(lockapi.RWLocker); ok {
+		rw, ok := wrapped.(lockapi.RWLocker)
+		if !ok {
+			t.Error("inner lock serves shared acquisitions but the wrapper dropped lockapi.RWLocker")
+		} else {
+			s0, a0, r0 := edges.counts()
+			pb := lockapi.NewNativeProc(1)
+			ca, cb := wrapped.NewCtx(), wrapped.NewCtx()
+			// Two shared holders coexist: if the wrapper routed shared
+			// acquisitions to the exclusive path this would deadlock.
+			rw.AcquireShared(p0, ca)
+			rw.AcquireShared(pb, cb)
+			rw.ReleaseShared(pb, cb)
+			rw.ReleaseShared(p0, ca)
+			if s, a, r := edges.counts(); s != s0 || a != a0 || r != r0 {
+				t.Errorf("shared acquisitions emitted observer edges (+%d,+%d,+%d); the obs layer assumes exclusive-only edges",
+					s-s0, a-a0, r-r0)
+			}
+			// The exclusive path still works after shared traffic.
+			wrapped.Acquire(p0, ca)
+			wrapped.Release(p0, ca)
+		}
+	}
+	if _, ok := base.(lockapi.SeqReader); ok {
+		sq, ok := wrapped.(lockapi.SeqReader)
+		if !ok {
+			t.Error("inner lock serves optimistic reads but the wrapper dropped lockapi.SeqReader")
+		} else {
+			s := sq.ReadSeq(p0)
+			if s&1 != 0 {
+				t.Errorf("ReadSeq sampled odd version %d on an unheld lock", s)
+			}
+			if !sq.ReadValidate(p0, s) {
+				t.Error("ReadValidate failed with no intervening writer")
+			}
+			cs := wrapped.NewCtx()
+			wrapped.Acquire(p0, cs)
+			wrapped.Release(p0, cs)
+			if sq.ReadValidate(p0, s) {
+				t.Error("ReadValidate passed across a write cycle: the version bump is not forwarded")
+			}
+		}
+	}
+
 	// Waiter detection: none on an uncontended hold, one real parked waiter
 	// detected while held.
-	if wd, ok := wrapped.(lockapi.WaiterDetector); ok {
+	if wd, ok := wrapped.(lockapi.WaiterDetector); ok && baseDetects {
 		wrapped.Acquire(p0, c0)
 		if wd.HasWaiters(p0, c0) {
 			t.Error("HasWaiters = true with no waiters")
 		}
+		// The waiter's context is allocated here, before its goroutine
+		// starts: NewCtx is single-threaded-setup only, and a delegating
+		// wrapper's HasWaiters may read the inner lock's context table.
+		cw := wrapped.NewCtx()
 		waiterDone := make(chan struct{})
 		go func() {
 			defer close(waiterDone)
 			pw := lockapi.NewNativeProc(1)
-			cw := wrapped.NewCtx()
 			wrapped.Acquire(pw, cw)
 			wrapped.Release(pw, cw)
 		}()

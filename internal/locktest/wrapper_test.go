@@ -5,7 +5,10 @@ import (
 
 	"github.com/clof-go/clof/internal/catalog"
 	"github.com/clof-go/clof/internal/cr"
+	"github.com/clof-go/clof/internal/locks"
 	"github.com/clof-go/clof/internal/locktest"
+	"github.com/clof-go/clof/internal/rwlock"
+	"github.com/clof-go/clof/internal/seqlock"
 	"github.com/clof-go/clof/internal/topo"
 )
 
@@ -26,4 +29,32 @@ func TestCRWrapperConformance(t *testing.T) {
 			locktest.WrapperConformance(t, m, wrapped, e.New(m))
 		})
 	}
+}
+
+// TestSeqWrapperConformance runs the same harness for seqlock.Wrap over
+// every catalog lock: the version-bump wrapper must forward trylock, waiter
+// detection, fairness, the reader-writer path (rwlock family), and — being
+// the seq: family itself — serve a correct validated-read protocol.
+func TestSeqWrapperConformance(t *testing.T) {
+	m := topo.X86Server()
+	for _, e := range catalog.Locks() {
+		e := e
+		t.Run("seq_over_"+e.Name, func(t *testing.T) {
+			wrapped := seqlock.Wrap(e.New(m), seqlock.Opts{})
+			locktest.WrapperConformance(t, m, wrapped, e.New(m))
+		})
+	}
+}
+
+// TestRWLockAdapterConformance pins the rwlock adapter itself through the
+// shared harness (against a fresh instance of its own configuration): the
+// adapter is the catalog's one native RWLocker, so this is where the
+// shared-holders-coexist and shared-emits-no-edges contracts are anchored
+// before any wrapper builds on them.
+func TestRWLockAdapterConformance(t *testing.T) {
+	m := topo.X86Server()
+	mk := func() *rwlock.Adapted {
+		return rwlock.Adapt(rwlock.New(m, topo.CacheGroup, locks.NewMCS()))
+	}
+	locktest.WrapperConformance(t, m, mk(), mk())
 }

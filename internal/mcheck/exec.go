@@ -15,6 +15,13 @@ type mcell struct {
 	// wTag identifies the last committing write: mix(tid+1, opIdx). Zero
 	// means never written. Used for symmetry-free state fingerprints.
 	wTag uint64
+	// idx is the cell's registration order (first touch), a deterministic
+	// identity for fingerprinting per-thread stale views (StaleLoads).
+	// Registration order is a function of the schedule prefix, so two
+	// prefixes reaching the same semantic state through different first
+	// touches may fingerprint apart — that only costs pruning, never
+	// soundness.
+	idx uint64
 }
 
 // bufEntry is one pending store in a thread's store buffer.
@@ -62,6 +69,17 @@ type Proc struct {
 	// deterministic bodies it pins the thread's entire local state.
 	hist  uint64
 	opIdx uint64
+
+	// Stale-load machinery (Config.StaleLoads, WMM only). seen caches the
+	// value this thread last observed per cell — the value a Relaxed load
+	// may still legally return after memory has moved on. A candidate stale
+	// read is announced as a scheduling fork: the thread parks with
+	// pendingStale set, the explorer schedules Choice{Stale: true|false},
+	// and staleTake carries the decision back.
+	seen         map[*mcell]uint64
+	pendingStale bool
+	pendingOld   uint64
+	staleTake    bool
 }
 
 // mix is a 64-bit hash combiner (splitmix-style finalization).
@@ -91,19 +109,23 @@ type exec struct {
 	acqTotal     int
 	waitingSince []int // -1 when not waiting
 
+	// stale enables the stale-load relaxation (Config.StaleLoads ∧ WMM).
+	stale bool
+
 	// cellList keeps registration order for final reads.
 	cellOf func(c *lockapi.Cell) *mcell
 }
 
 // newExec instantiates the program and parks every thread before its first
 // operation.
-func newExec(prog Program, mode Mode, fairK int) *exec {
+func newExec(prog Program, cfg Config) *exec {
 	bodies := prog.Make()
 	ex := &exec{
-		mode:         mode,
+		mode:         cfg.Mode,
 		yield:        make(chan struct{}),
 		cells:        make(map[*lockapi.Cell]*mcell),
-		fairK:        fairK,
+		fairK:        cfg.FairnessK,
+		stale:        cfg.StaleLoads && cfg.Mode == WMM,
 		waitingSince: make([]int, len(bodies)),
 	}
 	for i := range ex.waitingSince {
@@ -135,17 +157,19 @@ func newExec(prog Program, mode Mode, fairK int) *exec {
 func (ex *exec) cell(c *lockapi.Cell) *mcell {
 	m := ex.cells[c]
 	if m == nil {
-		m = &mcell{value: c.Raw().Load()}
+		m = &mcell{value: c.Raw().Load(), idx: uint64(len(ex.cells)) + 1}
 		ex.cells[c] = m
 	}
 	return m
 }
 
-// step grants thread t one operation (t must be enabled).
-func (ex *exec) step(t int) {
+// step grants thread t one operation (t must be enabled). stale resolves a
+// pending stale-read fork; it is ignored (and false) otherwise.
+func (ex *exec) step(t int, stale bool) {
 	p := ex.threads[t]
 	p.status = thReady
 	p.awaitOn = nil
+	p.staleTake = stale
 	p.resume <- struct{}{}
 	<-ex.yield
 }
@@ -194,6 +218,10 @@ func (ex *exec) enabledChoices() []Choice {
 			}
 		default:
 			out = append(out, Choice{TID: t, Flush: -1})
+			if ex.stale && p.pendingStale {
+				// The announced load forks: current value or last-seen.
+				out = append(out, Choice{TID: t, Flush: -1, Stale: true})
+			}
 		}
 		for idx := range p.buffer {
 			if ex.flushable(p, idx) {
@@ -261,6 +289,19 @@ func (ex *exec) fingerprint() fingerprint {
 				}
 				th = mix(th, bypass)
 			}
+			if ex.stale {
+				// The stale view is thread state: same memory, different
+				// last-seen values ⇒ different reachable futures. Unordered
+				// XOR, like the cell summary below.
+				if p.pendingStale {
+					th = mix(th, 0x57a1e, p.pendingOld)
+				}
+				var sx uint64
+				for m, v := range p.seen {
+					sx ^= mix(uint64(seed)+11, m.idx, v)
+				}
+				th = mix(th, sx)
+			}
 			h = mix(h, th)
 		}
 		// Cells as an unordered XOR: each written cell contributes its
@@ -289,7 +330,7 @@ type replayState struct {
 
 // replay executes the schedule prefix on a fresh instance.
 func (c *checker) replay(prefix []Choice) replayState {
-	ex := newExec(c.prog, c.cfg.Mode, c.cfg.FairnessK)
+	ex := newExec(c.prog, c.cfg)
 	defer ex.shutdown()
 	for _, ch := range prefix {
 		if ex.violation != "" {
@@ -298,7 +339,7 @@ func (c *checker) replay(prefix []Choice) replayState {
 		if ch.Flush >= 0 {
 			ex.flush(ch.TID, ch.Flush)
 		} else {
-			ex.step(ch.TID)
+			ex.step(ch.TID, ch.Stale)
 		}
 	}
 	st := replayState{violation: ex.violation}
@@ -368,10 +409,53 @@ func (p *Proc) note(op uint64, vals ...uint64) {
 	p.hist = mix(p.hist, vals...)
 }
 
-// Load implements lockapi.Proc.
-func (p *Proc) Load(c *lockapi.Cell, _ lockapi.Order) uint64 {
+// buffered reports whether this thread has a pending store to m (such a
+// load must forward from the buffer, so it can never be stale).
+func (p *Proc) buffered(m *mcell) bool {
+	for i := range p.buffer {
+		if p.buffer[i].cell == m {
+			return true
+		}
+	}
+	return false
+}
+
+// seenSet records the value this thread just observed (or wrote) at m.
+func (p *Proc) seenSet(m *mcell, v uint64) {
+	if p.seen == nil {
+		p.seen = make(map[*mcell]uint64)
+	}
+	p.seen[m] = v
+}
+
+// Load implements lockapi.Proc. With StaleLoads active, a Relaxed load of a
+// cell whose memory value moved past this thread's last observation forks:
+// it announces the candidate (one scheduling step) and the explorer decides
+// between the current value and the stale one. Coherence is respected — the
+// only alternative offered is the thread's own last-seen value, so a thread
+// never reads backwards past what it already observed. Acquire and SeqCst
+// loads discard the thread's stale views and always read current memory.
+func (p *Proc) Load(c *lockapi.Cell, o lockapi.Order) uint64 {
 	m := p.ex.cell(c)
 	v := p.readView(m)
+	if p.ex.stale {
+		if o == lockapi.Relaxed && !p.buffered(m) {
+			if old, ok := p.seen[m]; ok && old != v {
+				// Announce the fork and park until the explorer decides.
+				p.pendingStale, p.pendingOld = true, old
+				p.yieldTurn()
+				p.pendingStale = false
+				if p.staleTake {
+					v = old
+				} else {
+					v = p.readView(m) // current as of the decision
+				}
+			}
+		} else if o != lockapi.Relaxed {
+			clear(p.seen)
+		}
+		p.seenSet(m, v)
+	}
 	p.lastCell = m
 	p.lastVer = m.version
 	p.spinArmed = true
@@ -386,6 +470,11 @@ func (p *Proc) Store(c *lockapi.Cell, v uint64, o lockapi.Order) {
 	m := p.ex.cell(c)
 	p.lastCell = m
 	p.spinArmed = true
+	if p.ex.stale {
+		// Own writes dominate the thread's view (readView forwards from the
+		// buffer until the flush, and coherence after it).
+		p.seenSet(m, v)
+	}
 	p.note(opStore, v)
 	if p.ex.mode == SC || o == lockapi.SeqCst {
 		if o == lockapi.SeqCst {
@@ -406,6 +495,7 @@ func (p *Proc) Add(c *lockapi.Cell, delta uint64, _ lockapi.Order) uint64 {
 	p.drainBuffer()
 	nv := m.value + delta
 	p.commitWrite(m, nv)
+	p.rmwSeen(m, nv)
 	p.lastCell = m
 	p.lastVer = m.version
 	p.spinArmed = true
@@ -420,6 +510,7 @@ func (p *Proc) Swap(c *lockapi.Cell, v uint64, _ lockapi.Order) uint64 {
 	p.drainBuffer()
 	old := m.value
 	p.commitWrite(m, v)
+	p.rmwSeen(m, v)
 	p.lastCell = m
 	p.lastVer = m.version
 	p.spinArmed = true
@@ -436,6 +527,7 @@ func (p *Proc) CAS(c *lockapi.Cell, old, new uint64, _ lockapi.Order) bool {
 	if ok {
 		p.commitWrite(m, new)
 	}
+	p.rmwSeen(m, m.value)
 	p.lastCell = m
 	p.lastVer = m.version
 	p.spinArmed = true
@@ -448,10 +540,26 @@ func (p *Proc) CAS(c *lockapi.Cell, old, new uint64, _ lockapi.Order) bool {
 	return ok
 }
 
-// Fence implements lockapi.Proc: strong fences drain the store buffer.
+// rmwSeen records an RMW's observation under StaleLoads: atomics read the
+// current value, so the thread's stale views of every cell are discharged
+// and its view of m is the RMW's result.
+func (p *Proc) rmwSeen(m *mcell, v uint64) {
+	if !p.ex.stale {
+		return
+	}
+	clear(p.seen)
+	p.seenSet(m, v)
+}
+
+// Fence implements lockapi.Proc: strong fences drain the store buffer, and
+// under StaleLoads they also discharge the thread's stale views — the
+// Acquire fence in seqlock's ReadValidate is exactly this edge.
 func (p *Proc) Fence(o lockapi.Order) {
 	if o != lockapi.Relaxed {
 		p.drainBuffer()
+		if p.ex.stale {
+			clear(p.seen)
+		}
 	}
 	p.note(opFence, uint64(o))
 	p.yieldTurn()

@@ -32,9 +32,20 @@
 // buffer with nondeterministic flushes (store→load reordering). WMM
 // additionally lets Relaxed stores flush out of order — only Release stores
 // wait for their predecessors — which is the Armv8-style behavior that
-// breaks under-fenced locks (§3.3). Load reordering is not modeled; the
-// demonstration programs are chosen so the bugs they document are
-// store-ordering bugs.
+// breaks under-fenced locks (§3.3).
+//
+// Load reordering is opt-in via Config.StaleLoads (WMM only): a Relaxed load
+// of a cell the thread has read before may nondeterministically return the
+// thread's last-seen value instead of the current one — the two-value
+// stale-read approximation of Armv8 load buffering. It respects per-location
+// coherence (a thread never travels backwards past its own last observation)
+// and is discharged by Acquire/SeqCst loads, non-Relaxed fences, and RMWs,
+// which discard the thread's stale view. This is the relaxation that catches
+// under-fenced *readers* — seqlock validation without its Acquire fence
+// (SeqlockProgram) — where the store-ordering models cannot: the bug is a
+// load observing the past, not a store arriving late. Programs whose bugs
+// are store-ordering bugs do not need it, and it is off by default because
+// each possible stale read forks the search.
 package mcheck
 
 import (
@@ -84,6 +95,12 @@ type Config struct {
 	// per-thread bypass counters become part of the state fingerprint, so
 	// expect a correspondingly larger state space.
 	FairnessK int
+	// StaleLoads, under WMM, additionally lets a Relaxed load return the
+	// thread's last-seen value of the cell instead of the current one (see
+	// the package comment, "Memory models"). Per-thread stale views join the
+	// state fingerprint, so expect a larger state space. Ignored under
+	// SC/TSO, where loads are always current.
+	StaleLoads bool
 }
 
 // Result summarizes a check.
@@ -107,16 +124,22 @@ type Result struct {
 }
 
 // Choice is one scheduling decision: run thread TID's pending operation, or
-// (Flush >= 0) flush that index of TID's store buffer.
+// (Flush >= 0) flush that index of TID's store buffer. Stale resolves a
+// pending stale-read fork (Config.StaleLoads): true delivers the thread's
+// last-seen value, false the current one.
 type Choice struct {
 	TID   int
 	Flush int
+	Stale bool
 }
 
 // String renders the choice compactly for counterexample traces.
 func (c Choice) String() string {
 	if c.Flush >= 0 {
 		return fmt.Sprintf("t%d.flush[%d]", c.TID, c.Flush)
+	}
+	if c.Stale {
+		return fmt.Sprintf("t%d.stale", c.TID)
 	}
 	return fmt.Sprintf("t%d", c.TID)
 }
@@ -179,7 +202,7 @@ func CheckGuided(prog Program, cfg Config, pick func(step int, enabled []Choice)
 	if cfg.MaxDepth == 0 {
 		cfg.MaxDepth = 4000
 	}
-	ex := newExec(prog, cfg.Mode, cfg.FairnessK)
+	ex := newExec(prog, cfg)
 	defer ex.shutdown()
 	res := Result{Executions: 1}
 	var schedule []Choice
@@ -214,7 +237,7 @@ func CheckGuided(prog Program, cfg Config, pick func(step int, enabled []Choice)
 		if ch.Flush >= 0 {
 			ex.flush(ch.TID, ch.Flush)
 		} else {
-			ex.step(ch.TID)
+			ex.step(ch.TID, ch.Stale)
 		}
 		schedule = append(schedule, ch)
 		res.MaxDepthSeen = len(schedule)

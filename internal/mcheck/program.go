@@ -7,6 +7,7 @@ import (
 	"github.com/clof-go/clof/internal/cr"
 	"github.com/clof-go/clof/internal/lockapi"
 	"github.com/clof-go/clof/internal/locks"
+	"github.com/clof-go/clof/internal/seqlock"
 	"github.com/clof-go/clof/internal/topo"
 )
 
@@ -307,4 +308,74 @@ func (l *releaseTicket) Release(p lockapi.Proc, _ lockapi.Ctx) {
 func FixedTicketProgram(threads, iters int) Program {
 	return LockProgram("ticket-release-store", threads, iters,
 		func() lockapi.Lock { return &releaseTicket{} })
+}
+
+// SeqlockProgram verifies the optimistic read-validation protocol of
+// internal/seqlock (DESIGN.md S33): one writer updates two data cells with
+// Relaxed stores inside a seq:tkt critical section while `readers` readers
+// take optimistic snapshots — ReadSeq, two Relaxed data loads, ReadValidate
+// — asserting that every snapshot that survives validation is consistent
+// (d0 == d1). A reader whose `attempts` optimistic tries all fail
+// validation falls back to the pessimistic lock, mirroring the adaptive
+// fallback in internal/store.
+//
+// The interesting mode is WMM with Config.StaleLoads: the reader bug class
+// this protocol exists to prevent is a *load* observing the past, invisible
+// to the store-ordering models. omitReadFence seeds that bug (the classic
+// missing Acquire fence in validation, seqlock.Opts.OmitReadFence); under
+// StaleLoads the checker must find the torn snapshot the stale version
+// re-read certifies, and with the fence intact it must find nothing.
+func SeqlockProgram(readers, attempts int, omitReadFence bool) Program {
+	name := "seqlock-tkt"
+	if omitReadFence {
+		name += "-missing-read-fence"
+	}
+	data := struct{ d0, d1 *lockapi.Cell }{}
+	return Program{
+		Name: name,
+		Make: func() []func(p *Proc) {
+			l := seqlock.Wrap(locks.NewTicket(), seqlock.Opts{OmitReadFence: omitReadFence})
+			sr := l.(lockapi.SeqReader)
+			d0, d1 := &lockapi.Cell{}, &lockapi.Cell{}
+			data.d0, data.d1 = d0, d1
+			bodies := make([]func(p *Proc), readers+1)
+			wctx := l.NewCtx()
+			bodies[0] = func(p *Proc) {
+				l.Acquire(p, wctx)
+				p.Store(d0, 1, lockapi.Relaxed)
+				p.Store(d1, 1, lockapi.Relaxed)
+				l.Release(p, wctx)
+			}
+			for i := 1; i <= readers; i++ {
+				c := l.NewCtx()
+				bodies[i] = func(p *Proc) {
+					var v0, v1 uint64
+					ok := false
+					for a := 0; a < attempts && !ok; a++ {
+						s := sr.ReadSeq(p)
+						v0 = p.Load(d0, lockapi.Relaxed)
+						v1 = p.Load(d1, lockapi.Relaxed)
+						ok = sr.ReadValidate(p, s)
+					}
+					if !ok {
+						// Pessimistic fallback, as in internal/store: the
+						// exclusive lock excludes the writer, so the plain
+						// loads below are stable.
+						l.Acquire(p, c)
+						v0 = p.Load(d0, lockapi.Relaxed)
+						v1 = p.Load(d1, lockapi.Relaxed)
+						l.Release(p, c)
+					}
+					p.Assert(v0 == v1, "torn snapshot escaped validation")
+				}
+			}
+			return bodies
+		},
+		Final: func(read func(c *lockapi.Cell) uint64) string {
+			if d0, d1 := read(data.d0), read(data.d1); d0 != 1 || d1 != 1 {
+				return fmt.Sprintf("data = (%d,%d), want (1,1)", d0, d1)
+			}
+			return ""
+		},
+	}
 }

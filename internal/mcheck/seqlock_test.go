@@ -1,0 +1,94 @@
+package mcheck
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/clof-go/clof/internal/lockapi"
+)
+
+// TestSeqlockVerifiedSC: the intact protocol under SC (loads always
+// current) — a smoke baseline for the WMM runs below.
+func TestSeqlockVerifiedSC(t *testing.T) {
+	res := Check(SeqlockProgram(2, 2, false), Config{Mode: SC})
+	if !res.OK {
+		t.Fatalf("seqlock SC: %s (witness %v, %d states)", res.Violation, res.Witness, res.States)
+	}
+	t.Logf("seqlock SC: %d states, %d executions", res.States, res.Executions)
+}
+
+// TestSeqlockVerifiedWMM: the acceptance check — the intact read-validation
+// protocol at 3 threads (1 writer + 2 readers) under WMM with the
+// stale-load relaxation on. Every snapshot a validation certifies must be
+// consistent even when Relaxed loads can return the reader's last-seen
+// values.
+func TestSeqlockVerifiedWMM(t *testing.T) {
+	res := Check(SeqlockProgram(2, 2, false), Config{Mode: WMM, StaleLoads: true})
+	if !res.OK {
+		t.Fatalf("seqlock WMM+stale: %s (witness %v, %d states)", res.Violation, res.Witness, res.States)
+	}
+	t.Logf("seqlock WMM+stale: %d states, %d executions", res.States, res.Executions)
+}
+
+// TestSeqlockMissingReadFenceCaught: the seeded bug — ReadValidate without
+// its Acquire fence — MUST be reported under WMM+StaleLoads: the stale
+// version re-read certifies a torn snapshot and the reader's assertion
+// fires. This is the negative result that makes the positive one above
+// meaningful.
+func TestSeqlockMissingReadFenceCaught(t *testing.T) {
+	res := Check(SeqlockProgram(2, 2, true), Config{Mode: WMM, StaleLoads: true})
+	if res.OK || res.Violation == "" {
+		t.Fatalf("missing read fence not caught (states=%d, truncated=%v)", res.States, res.Truncated)
+	}
+	if !strings.Contains(res.Violation, "torn snapshot") {
+		t.Fatalf("unexpected violation %q (want the torn-snapshot assertion)", res.Violation)
+	}
+	t.Logf("caught: %s (witness %v)", res.Violation, res.Witness)
+}
+
+// TestSeqlockFenceBugInvisibleWithoutStaleLoads pins why StaleLoads exists:
+// under plain WMM (store reordering only) the fenceless variant is
+// indistinguishable from the correct one — the bug is a load observing the
+// past, which store buffers cannot express. A model-strength regression
+// that started "verifying" the bug away would break the Caught test above;
+// this one breaks if someone makes plain WMM claim the catch.
+func TestSeqlockFenceBugInvisibleWithoutStaleLoads(t *testing.T) {
+	res := Check(SeqlockProgram(2, 2, true), Config{Mode: WMM})
+	if !res.OK {
+		t.Fatalf("plain WMM unexpectedly reports %q — update the model notes in mcheck.go", res.Violation)
+	}
+}
+
+// TestStaleLoadCoherence: a thread that already observed a value never
+// reads an older one — the stale fork only offers the thread's last-seen
+// value, so two back-to-back reads r1, r2 of a monotonically bumped cell
+// must satisfy r2 >= r1.
+func TestStaleLoadCoherence(t *testing.T) {
+	prog := corrProgram()
+	res := Check(prog, Config{Mode: WMM, StaleLoads: true})
+	if !res.OK {
+		t.Fatalf("CoRR violated: %s (witness %v)", res.Violation, res.Witness)
+	}
+}
+
+// corrProgram is the CoRR litmus shape: one thread bumps x through 1 then
+// 2; another reads x twice with Relaxed loads and asserts monotonicity.
+func corrProgram() Program {
+	return Program{
+		Name: "corr-relaxed",
+		Make: func() []func(p *Proc) {
+			x := &lockapi.Cell{}
+			return []func(p *Proc){
+				func(p *Proc) {
+					p.Store(x, 1, lockapi.Relaxed)
+					p.Store(x, 2, lockapi.Relaxed)
+				},
+				func(p *Proc) {
+					r1 := p.Load(x, lockapi.Relaxed)
+					r2 := p.Load(x, lockapi.Relaxed)
+					p.Assert(r2 >= r1, "read went backwards in coherence order")
+				},
+			}
+		},
+	}
+}

@@ -7,6 +7,21 @@ package obs
 // acquisitions emit no protocol edges (the rwlock adapter documents why),
 // so the workload counts them itself and passes them in as SharedOps.
 
+// OCCOps carries one shard's workload-reported optimistic-read counters.
+// Like shared acquisitions, optimistic (seqlock-validated) reads never pass
+// through Acquire/Release and so emit no observer edges — the workload
+// counts them and hands them to CombineShards.
+type OCCOps struct {
+	// Optimistic counts optimistic read attempts (successful or not).
+	Optimistic uint64
+	// ValidationFailures counts attempts discarded by a failed seqlock
+	// validation — each is a retry or, once the budget is spent, a fallback.
+	ValidationFailures uint64
+	// Fallbacks counts reads that exhausted the adaptive attempt budget and
+	// took the pessimistic shard lock.
+	Fallbacks uint64
+}
+
 // ShardStat is one shard's slice of a combined Report.
 type ShardStat struct {
 	// Shard is the shard index.
@@ -16,6 +31,12 @@ type ShardStat struct {
 	// SharedOps counts workload-reported shared (reader) acquisitions, which
 	// emit no observer edges; 0 when the shard lock has no shared mode.
 	SharedOps uint64 `json:"shared_ops,omitempty"`
+	// OptimisticOps / OCCValidationFailures / OCCFallbacks are the
+	// workload-reported optimistic-read counters (OCCOps); all 0 when the
+	// shard lock has no seqlock read path.
+	OptimisticOps         uint64 `json:"optimistic_ops,omitempty"`
+	OCCValidationFailures uint64 `json:"occ_validation_failures,omitempty"`
+	OCCFallbacks          uint64 `json:"occ_fallbacks,omitempty"`
 	// AcquireP50NS / HoldP50NS are the shard's median acquire latency and
 	// hold time (bucket-resolution upper bounds, like the aggregate's).
 	AcquireP50NS int64 `json:"acquire_p50_ns"`
@@ -45,14 +66,15 @@ func (h *Hist) Merge(other *Hist) {
 // CombineShards merges per-shard collectors into one Report labeled lock:
 // summed acquisitions and handover levels, merged latency/hold histograms,
 // fairness over the summed per-CPU counts, and one ShardStat per collector.
-// sharedOps (optional, len = number of shards) supplies the workloads'
-// shared-acquisition counts. All collectors must observe the same machine.
+// sharedOps and occOps (each optional, len = number of shards) supply the
+// workloads' shared-acquisition and optimistic-read counts. All collectors
+// must observe the same machine.
 //
 // The aggregate's fairness starvation window is the per-CPU maximum across
 // shards — a CPU's longest wait on any single shard lock, not across the
 // interleaving (a CPU served promptly by shard A while starving on shard B
 // still reports B's gap).
-func CombineShards(lock string, collectors []*Collector, sharedOps []uint64) Report {
+func CombineShards(lock string, collectors []*Collector, sharedOps []uint64, occOps []OCCOps) Report {
 	if len(collectors) == 0 {
 		return Report{Lock: lock}
 	}
@@ -81,6 +103,11 @@ func CombineShards(lock string, collectors []*Collector, sharedOps []uint64) Rep
 		}
 		if i < len(sharedOps) {
 			shards[i].SharedOps = sharedOps[i]
+		}
+		if i < len(occOps) {
+			shards[i].OptimisticOps = occOps[i].Optimistic
+			shards[i].OCCValidationFailures = occOps[i].ValidationFailures
+			shards[i].OCCFallbacks = occOps[i].Fallbacks
 		}
 	}
 	r := agg.Report()

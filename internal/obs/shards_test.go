@@ -82,7 +82,8 @@ func TestCombineShards(t *testing.T) {
 	drive(shard0, 1, 15, 30, 40)
 	drive(shard1, 2, 0, 5, 50)
 
-	r := CombineShards("rwlock", []*Collector{shard0, shard1}, []uint64{100, 7})
+	r := CombineShards("rwlock", []*Collector{shard0, shard1}, []uint64{100, 7},
+		[]OCCOps{{Optimistic: 40, ValidationFailures: 3, Fallbacks: 1}})
 	if r.Lock != "rwlock" {
 		t.Errorf("lock label = %q", r.Lock)
 	}
@@ -98,6 +99,14 @@ func TestCombineShards(t *testing.T) {
 	}
 	if r.Shards[0].SharedOps != 100 || r.Shards[1].SharedOps != 7 {
 		t.Errorf("shared ops = %d/%d, want 100/7", r.Shards[0].SharedOps, r.Shards[1].SharedOps)
+	}
+	// OCC counters land on shard 0 only (short slice); shard 1 stays zero.
+	if s0 := r.Shards[0]; s0.OptimisticOps != 40 || s0.OCCValidationFailures != 3 || s0.OCCFallbacks != 1 {
+		t.Errorf("shard 0 occ = %d/%d/%d, want 40/3/1",
+			s0.OptimisticOps, s0.OCCValidationFailures, s0.OCCFallbacks)
+	}
+	if s1 := r.Shards[1]; s1.OptimisticOps != 0 || s1.OCCValidationFailures != 0 || s1.OCCFallbacks != 0 {
+		t.Errorf("shard 1 occ = %d/%d/%d, want zeros", s1.OptimisticOps, s1.OCCValidationFailures, s1.OCCFallbacks)
 	}
 	if r.AcquireLatency.Count != 3 || r.Hold.Count != 3 {
 		t.Errorf("merged histogram counts = %d/%d, want 3/3",
@@ -128,7 +137,7 @@ func TestCombineShards(t *testing.T) {
 
 // TestCombineShardsEmpty: no collectors yields a labeled empty report.
 func TestCombineShardsEmpty(t *testing.T) {
-	r := CombineShards("x", nil, nil)
+	r := CombineShards("x", nil, nil, nil)
 	if r.Lock != "x" || r.Acquisitions != 0 || r.Shards != nil {
 		t.Errorf("empty combine = %+v", r)
 	}

@@ -8,9 +8,18 @@ import (
 )
 
 // This file runs kvstore.DB behind the shard router. Reads (Get, Scan) are
-// shared-mode when the shard lock allows it — the LSM's read paths mutate
-// nothing but its atomic counters — while Put/Delete/Flush take the
-// exclusive path.
+// optimistic when the shard lock offers a seqlock read path (the catalog's
+// seq: family): they run against kvstore's unlocked read paths bracketed by
+// ReadSeq/ReadValidate, retry on version bump, and fall back to the
+// pessimistic shard lock after the shard's adaptive attempt budget is
+// exhausted (DESIGN.md S33). Without a seqlock they are shared-mode when the
+// shard lock allows it — the LSM's read paths mutate nothing but its atomic
+// counters. Put/Delete/Flush always take the exclusive path.
+//
+// The optimistic Get fast path is hand-rolled rather than routed through
+// Session.OptimisticAt: keeping the hot loop closure-free is what pins it at
+// zero heap allocations (TestNoTraceZeroAllocs); the generic closure-based
+// path would cost an allocation per read.
 
 // KVOptions configures a sharded LSM store.
 type KVOptions struct {
@@ -66,6 +75,12 @@ func (kv *KV) Shards() int { return kv.router.Shards() }
 // LockAt exposes shard i's lock for single-threaded instrumentation.
 func (kv *KV) LockAt(i int) lockapi.Lock { return kv.router.LockAt(i) }
 
+// OptimisticSupported reports whether any shard serves optimistic reads.
+func (kv *KV) OptimisticSupported() bool { return kv.router.OptimisticSupported() }
+
+// OCCStats returns the per-shard optimistic-read counters (index = shard).
+func (kv *KV) OCCStats() []OCCShardStats { return kv.router.OCCStats() }
+
 // KVSession is a per-worker handle: router contexts plus one inner engine
 // session per shard (the inner sessions carry the shards' no-op lock
 // contexts). Create only during single-threaded setup.
@@ -91,9 +106,31 @@ func (s *KVSession) Put(p lockapi.Proc, key, value []byte) {
 	})
 }
 
-// Get fetches a key from its shard (shared-mode when available).
+// Get fetches a key from its shard: optimistically when the shard lock is a
+// lockapi.SeqReader (validated unlocked read, adaptive retry, pessimistic
+// fallback), in shared mode otherwise. The optimistic path performs zero
+// heap allocations.
 func (s *KVSession) Get(p lockapi.Proc, key []byte) (v []byte, ok bool) {
-	s.s.Shared(p, key, func(i int, _ *kvstore.DB) {
+	r := s.s.r
+	i := r.part.Shard(key)
+	if sq := r.seqs[i]; sq != nil {
+		st := &r.occ[i]
+		db := r.shards[i]
+		k := int(st.k.Load())
+		for a := 0; a < k; a++ {
+			st.optimistic.Add(1)
+			seq := sq.ReadSeq(p)
+			v, ok = db.GetUnlocked(key)
+			if sq.ReadValidate(p, seq) {
+				st.noteSuccess(a)
+				return v, ok
+			}
+			st.vfails.Add(1)
+		}
+		st.noteFallback()
+		v, ok = nil, false // discard the torn attempt before the locked read
+	}
+	s.s.SharedAt(p, i, func(i int, _ *kvstore.DB) {
 		v, ok = s.inner[i].Get(p, key)
 	})
 	return v, ok
@@ -116,42 +153,94 @@ func (s *KVSession) Flush(p lockapi.Proc) {
 	})
 }
 
+// kvPair is one collected scan result (keys/values copied out of the
+// engine so a later emission outlives any concurrent compaction).
+type kvPair struct{ k, v []byte }
+
+// scanShard collects shard i's live [start, end) range into buf (reset
+// first). With a seqlock shard lock the collection runs unlocked and is
+// validated — a failed validation discards the buffer and retries, then
+// falls back to the shared lock, so torn observations never escape this
+// function. Without one it is the plain shared-mode collect.
+func (s *KVSession) scanShard(p lockapi.Proc, i int, start, end []byte, buf []kvPair) []kvPair {
+	r := s.s.r
+	collect := func(k, v []byte) bool {
+		buf = append(buf, kvPair{k: append([]byte(nil), k...), v: append([]byte(nil), v...)})
+		return true
+	}
+	if sq := r.seqs[i]; sq != nil {
+		st := &r.occ[i]
+		db := r.shards[i]
+		kbudget := int(st.k.Load())
+		for a := 0; a < kbudget; a++ {
+			st.optimistic.Add(1)
+			buf = buf[:0]
+			seq := sq.ReadSeq(p)
+			db.ScanUnlocked(start, end, collect)
+			if sq.ReadValidate(p, seq) {
+				st.noteSuccess(a)
+				return buf
+			}
+			st.vfails.Add(1)
+		}
+		st.noteFallback()
+	}
+	buf = buf[:0]
+	s.s.SharedAt(p, i, func(i int, _ *kvstore.DB) {
+		s.inner[i].Scan(p, start, end, collect)
+	})
+	return buf
+}
+
 // Scan visits every live key in [start, end) in ascending key order, merged
 // across shards; fn returning false stops the scan. Under a range partition
-// the scan streams shard by shard in key order; under hash partitioning it
-// collects each shard's range and k-way merges. Either way at most one
-// shard lock is held at a time (shared-mode when available): the result
-// interleaves per-shard snapshots taken at slightly different instants, not
-// one atomic cut — each shard's contribution is internally consistent.
+// the scan proceeds shard by shard in key order; under hash partitioning it
+// collects each shard's range and k-way merges. Seqlock-guarded shards are
+// collected optimistically (validate, retry, fall back — scanShard) and
+// emitted to fn only after validation, with no lock held; other shards hold
+// their lock at most one at a time (shared-mode when available, streaming
+// in the ordered case). Either way the result interleaves per-shard
+// snapshots taken at slightly different instants, not one atomic cut —
+// each shard's contribution is internally consistent.
 func (s *KVSession) Scan(p lockapi.Proc, start, end []byte, fn func(key, value []byte) bool) {
-	if s.s.r.Ordered() {
-		from := s.s.r.rinfo.FirstShard(start)
-		s.s.Ascending(p, from, true, func(i int, _ *kvstore.DB) bool {
-			cont := true
-			s.inner[i].Scan(p, start, end, func(k, v []byte) bool {
-				cont = fn(k, v)
-				return cont
-			})
-			return cont
-		})
+	r := s.s.r
+	if r.Ordered() {
+		from := r.rinfo.FirstShard(start)
+		var buf []kvPair
+		for i := from; i < r.Shards(); i++ {
+			if r.seqs[i] == nil {
+				// Pessimistic shard: stream under the shared lock (early
+				// stop needs no buffering here).
+				cont := true
+				s.s.SharedAt(p, i, func(i int, _ *kvstore.DB) {
+					s.inner[i].Scan(p, start, end, func(k, v []byte) bool {
+						cont = fn(k, v)
+						return cont
+					})
+				})
+				if !cont {
+					return
+				}
+				continue
+			}
+			buf = s.scanShard(p, i, start, end, buf)
+			for _, pr := range buf {
+				if !fn(pr.k, pr.v) {
+					return
+				}
+			}
+		}
 		return
 	}
 	// Hash partition: per-shard collect, then merge. Shards hold disjoint
-	// key sets, so the merge never sees duplicates, and the inner Scan has
-	// already applied tombstones.
-	type kvPair struct{ k, v []byte }
-	parts := make([][]kvPair, 0, s.s.r.Shards())
-	s.s.Ascending(p, 0, true, func(i int, _ *kvstore.DB) bool {
-		var part []kvPair
-		s.inner[i].Scan(p, start, end, func(k, v []byte) bool {
-			part = append(part, kvPair{k: append([]byte(nil), k...), v: append([]byte(nil), v...)})
-			return true
-		})
-		if len(part) > 0 {
+	// key sets, so the merge never sees duplicates, and the per-shard
+	// collection has already applied tombstones.
+	parts := make([][]kvPair, 0, r.Shards())
+	for i := 0; i < r.Shards(); i++ {
+		if part := s.scanShard(p, i, start, end, nil); len(part) > 0 {
 			parts = append(parts, part)
 		}
-		return true
-	})
+	}
 	for {
 		best := -1
 		for i := range parts {

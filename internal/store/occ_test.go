@@ -1,0 +1,223 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/clof-go/clof/internal/kvstore"
+	"github.com/clof-go/clof/internal/lockapi"
+	"github.com/clof-go/clof/internal/locks"
+	"github.com/clof-go/clof/internal/seqlock"
+)
+
+// openSeqSharded builds a KV whose shard locks are seq:tkt — every read
+// takes the optimistic validated path first.
+func openSeqSharded(shards, rangeKeys int) *KV {
+	return OpenKV(KVOptions{
+		Shards:    shards,
+		RangeKeys: rangeKeys,
+		NewLock:   func(int) lockapi.Lock { return seqlock.Wrap(locks.NewTicket(), seqlock.Opts{}) },
+		Shard:     kvstore.Options{MemtableBytes: 400, MaxRuns: 2, Seed: 11},
+	})
+}
+
+// TestOCCMatchesOracleQuiescent: with no concurrent writers every optimistic
+// read validates on the first attempt, and the OCC Get/Scan results must
+// match the map oracle exactly — same seeded stream discipline as
+// TestShardedOracle, on seq:tkt shard locks.
+func TestOCCMatchesOracleQuiescent(t *testing.T) {
+	for _, cfg := range []struct {
+		name      string
+		rangeKeys int
+	}{{"hash", 0}, {"range", 200}} {
+		t.Run(cfg.name, func(t *testing.T) {
+			kv := openSeqSharded(4, cfg.rangeKeys)
+			s := kv.NewSession()
+			oracle := map[string]string{}
+			rng := uint64(7)
+			for i := 0; i < 800; i++ {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				k := string(kvstore.Key(int(rng>>33) % 200))
+				switch (rng >> 20) % 4 {
+				case 0:
+					v := fmt.Sprintf("v%d", i)
+					s.Put(p0, []byte(k), []byte(v))
+					oracle[k] = v
+				case 1:
+					s.Delete(p0, []byte(k))
+					delete(oracle, k)
+				default:
+					got, ok := s.Get(p0, []byte(k))
+					want, wok := oracle[k]
+					if ok != wok || (ok && string(got) != want) {
+						t.Fatalf("Get(%q) = %q,%v want %q,%v", k, got, ok, want, wok)
+					}
+				}
+			}
+			seen := map[string]string{}
+			var prev []byte
+			s.Scan(p0, kvstore.Key(0), nil, func(k, v []byte) bool {
+				if prev != nil && bytes.Compare(prev, k) >= 0 {
+					t.Fatalf("scan out of order: %q after %q", k, prev)
+				}
+				prev = append(prev[:0], k...)
+				seen[string(k)] = string(v)
+				return true
+			})
+			if len(seen) != len(oracle) {
+				t.Fatalf("scan saw %d keys, oracle has %d", len(seen), len(oracle))
+			}
+			for k, v := range oracle {
+				if seen[k] != v {
+					t.Fatalf("scan %q = %q, want %q", k, seen[k], v)
+				}
+			}
+			var opt uint64
+			for _, st := range kv.OCCStats() {
+				opt += st.Optimistic
+				if st.ValidationFailures != 0 || st.Fallbacks != 0 {
+					t.Fatalf("quiescent run failed validations: %+v", st)
+				}
+			}
+			if opt == 0 {
+				t.Fatal("no optimistic reads recorded — fast path not taken")
+			}
+		})
+	}
+}
+
+// TestOCCConcurrentWriters is the property test behind the -race CI pass:
+// reader goroutines hammer OCC Get/Scan while writers mutate the same keys.
+// Every value is self-describing (its first KeyWidth bytes repeat its key),
+// so any torn or misrouted read — a value escaping a failed validation, a
+// key paired with another key's bytes — is detected, and the race detector
+// checks the unlocked traversals are data-race-free.
+func TestOCCConcurrentWriters(t *testing.T) {
+	const (
+		keys      = 128
+		writers   = 2
+		readers   = 4
+		writerOps = 3000
+	)
+	for _, cfg := range []struct {
+		name      string
+		rangeKeys int
+	}{{"hash", 0}, {"range", keys}} {
+		t.Run(cfg.name, func(t *testing.T) {
+			kv := openSeqSharded(4, cfg.rangeKeys)
+			// Sessions and procs are set up single-threaded, one per worker.
+			sessions := make([]*KVSession, writers+readers)
+			for i := range sessions {
+				sessions[i] = kv.NewSession()
+			}
+			legal := func(k, v []byte) bool { return bytes.HasPrefix(v, k) }
+
+			var wg sync.WaitGroup
+			done := make(chan struct{})
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					s := sessions[w]
+					p := lockapi.NewNativeProc(w)
+					rng := uint64(w + 1)
+					for i := 0; i < writerOps; i++ {
+						rng = rng*6364136223846793005 + 1442695040888963407
+						key := kvstore.Key(int(rng>>33) % keys)
+						if (rng>>20)%8 == 0 {
+							s.Delete(p, key)
+						} else {
+							s.Put(p, key, append(key, fmt.Sprintf("#w%d.%d", w, i)...))
+						}
+					}
+				}(w)
+			}
+			go func() { wg.Wait(); close(done) }()
+
+			var rg sync.WaitGroup
+			for rd := 0; rd < readers; rd++ {
+				rg.Add(1)
+				go func(rd int) {
+					defer rg.Done()
+					s := sessions[writers+rd]
+					p := lockapi.NewNativeProc(writers + rd)
+					rng := uint64(rd + 101)
+					for alive := true; alive; {
+						select {
+						case <-done:
+							alive = false
+						default:
+						}
+						rng = rng*6364136223846793005 + 1442695040888963407
+						key := kvstore.Key(int(rng>>33) % keys)
+						if (rng>>20)%4 == 0 {
+							var prev []byte
+							s.Scan(p, key, nil, func(k, v []byte) bool {
+								if prev != nil && bytes.Compare(prev, k) >= 0 {
+									t.Errorf("scan out of order: %q after %q", k, prev)
+									return false
+								}
+								prev = append(prev[:0], k...)
+								if !legal(k, v) {
+									t.Errorf("scan: torn value %q for key %q", v, k)
+									return false
+								}
+								return true
+							})
+						} else if v, ok := s.Get(p, key); ok && !legal(key, v) {
+							t.Errorf("get: torn value %q for key %q", v, key)
+							alive = false
+						}
+					}
+				}(rd)
+			}
+			rg.Wait()
+
+			var st OCCShardStats
+			for _, sh := range kv.OCCStats() {
+				st.Optimistic += sh.Optimistic
+				st.ValidationFailures += sh.ValidationFailures
+				st.Fallbacks += sh.Fallbacks
+			}
+			if st.Optimistic == 0 {
+				t.Fatal("no optimistic reads recorded")
+			}
+			t.Logf("%s: optimistic=%d vfails=%d fallbacks=%d",
+				cfg.name, st.Optimistic, st.ValidationFailures, st.Fallbacks)
+		})
+	}
+}
+
+// TestNoTraceZeroAllocs pins the optimistic Get fast path at zero heap
+// allocations — the same guarantee the memsim execution core pins for its
+// uninstrumented hot loop. The budgeted loop (shard routing, ReadSeq,
+// unlocked layer-merge read, validation, counter updates) must not allocate;
+// only the pessimistic fallback may (it builds a closure for the lock-held
+// read).
+func TestNoTraceZeroAllocs(t *testing.T) {
+	t.Run("occ-get", func(t *testing.T) {
+		kv := openSeqSharded(4, 0)
+		s := kv.NewSession()
+		val := bytes.Repeat([]byte("x"), 40)
+		for i := 0; i < 300; i++ {
+			s.Put(p0, kvstore.Key(i), val)
+		}
+		s.Flush(p0) // exercise the run (SSTable) lookup path too
+		keys := make([][]byte, 300)
+		for i := range keys {
+			keys[i] = kvstore.Key(i)
+		}
+		var i int
+		allocs := testing.AllocsPerRun(2000, func() {
+			if _, ok := s.Get(p0, keys[i%300]); !ok {
+				t.Fatal("preloaded key missing")
+			}
+			i++
+		})
+		if allocs != 0 {
+			t.Fatalf("optimistic Get fast path allocates %.1f per op, want 0", allocs)
+		}
+	})
+}

@@ -31,6 +31,7 @@ import (
 	"bytes"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"github.com/clof-go/clof/internal/lockapi"
 )
@@ -131,13 +132,80 @@ func UniformBounds(keys, shards int, keyOf func(i int) []byte) [][]byte {
 	return bounds
 }
 
+// Adaptive optimistic-read bounds (DESIGN.md S33): each shard starts with
+// occKStart validation attempts per read, halves on every pessimistic
+// fallback, and earns one attempt back after occGrowAfter consecutive
+// first-try successes — so write-hot shards degrade to (cheap) pessimistic
+// reads quickly while read-mostly shards keep the full optimistic budget.
+const (
+	occKStart    = 4
+	occKMin      = 1
+	occKMax      = 8
+	occGrowAfter = 64
+)
+
+// occShard is one shard's optimistic-read state: the adaptive attempt
+// budget plus the counters the obs layer attributes per shard. All fields
+// are atomics — the fast path must stay allocation- and lock-free, and the
+// budget adaptation is an intentionally racy heuristic (a lost update costs
+// one adjustment, never correctness).
+type occShard struct {
+	k          atomic.Int32  // current attempt budget, in [occKMin, occKMax]
+	clean      atomic.Uint32 // consecutive first-attempt successes
+	optimistic atomic.Uint64 // optimistic attempts started
+	vfails     atomic.Uint64 // failed validations (retries)
+	fallbacks  atomic.Uint64 // reads that fell back to the shard lock
+}
+
+// noteSuccess records a validated read that took `attempt` retries before
+// succeeding, growing the budget after a clean streak.
+func (st *occShard) noteSuccess(attempt int) {
+	if attempt != 0 {
+		st.clean.Store(0)
+		return
+	}
+	if st.clean.Add(1) >= occGrowAfter {
+		st.clean.Store(0)
+		if k := st.k.Load(); k < occKMax {
+			st.k.Store(k + 1)
+		}
+	}
+}
+
+// noteFallback records an exhausted optimistic budget and halves it.
+func (st *occShard) noteFallback() {
+	st.fallbacks.Add(1)
+	st.clean.Store(0)
+	if nk := st.k.Load() / 2; nk >= occKMin {
+		st.k.Store(nk)
+	} else {
+		st.k.Store(occKMin)
+	}
+}
+
+// OCCShardStats is one shard's optimistic-read accounting, as exposed to
+// the obs layer and the kv experiment (retry/validation-failure metrics per
+// shard).
+type OCCShardStats struct {
+	// Optimistic counts optimistic read attempts (including retries).
+	Optimistic uint64
+	// ValidationFailures counts attempts whose validation failed.
+	ValidationFailures uint64
+	// Fallbacks counts reads that exhausted the budget and took the lock.
+	Fallbacks uint64
+	// K is the shard's current adaptive attempt budget.
+	K int
+}
+
 // Router partitions a keyspace across shards of payload type S, guarding
 // shard i with its own lock. It is the generic core both store engines wrap.
 type Router[S any] struct {
 	part   Partitioner
 	rinfo  RangeInfo // non-nil when part orders shards by key range
 	locks  []lockapi.Lock
-	rws    []lockapi.RWLocker // non-nil where locks[i] supports shared mode
+	rws    []lockapi.RWLocker  // non-nil where locks[i] supports shared mode
+	seqs   []lockapi.SeqReader // non-nil where locks[i] supports optimistic reads
+	occ    []occShard
 	shards []S
 }
 
@@ -151,6 +219,8 @@ func NewRouter[S any](part Partitioner, newLock func(shard int) lockapi.Lock, ne
 		part:   part,
 		locks:  make([]lockapi.Lock, n),
 		rws:    make([]lockapi.RWLocker, n),
+		seqs:   make([]lockapi.SeqReader, n),
+		occ:    make([]occShard, n),
 		shards: make([]S, n),
 	}
 	r.rinfo, _ = part.(RangeInfo)
@@ -164,9 +234,37 @@ func NewRouter[S any](part Partitioner, newLock func(shard int) lockapi.Lock, ne
 		}
 		r.locks[i] = l
 		r.rws[i], _ = l.(lockapi.RWLocker)
+		r.seqs[i], _ = l.(lockapi.SeqReader)
+		r.occ[i].k.Store(occKStart)
 		r.shards[i] = newShard(i)
 	}
 	return r
+}
+
+// OptimisticSupported reports whether any shard lock offers the optimistic
+// read path (lockapi.SeqReader — the catalog's seq: family).
+func (r *Router[S]) OptimisticSupported() bool {
+	for _, sq := range r.seqs {
+		if sq != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// OCCStats returns every shard's optimistic-read counters (index = shard).
+func (r *Router[S]) OCCStats() []OCCShardStats {
+	out := make([]OCCShardStats, len(r.occ))
+	for i := range r.occ {
+		st := &r.occ[i]
+		out[i] = OCCShardStats{
+			Optimistic:         st.optimistic.Load(),
+			ValidationFailures: st.vfails.Load(),
+			Fallbacks:          st.fallbacks.Load(),
+			K:                  int(st.k.Load()),
+		}
+	}
+	return out
 }
 
 // Shards returns the shard count.
@@ -233,6 +331,48 @@ func (s *Session[S]) SharedAt(p lockapi.Proc, i int, fn func(shard int, data S))
 		return
 	}
 	s.ExclusiveAt(p, i, fn)
+}
+
+// Optimistic routes key to its shard and runs fn through OptimisticAt.
+func (s *Session[S]) Optimistic(p lockapi.Proc, key []byte, fn func(shard int, data S)) bool {
+	return s.OptimisticAt(p, s.r.part.Shard(key), fn)
+}
+
+// OptimisticAt runs fn against shard i's payload on the optimistic read
+// path: no lock is taken; instead the read is bracketed by the shard
+// seqlock's ReadSeq/ReadValidate and retried on validation failure, up to
+// the shard's adaptive attempt budget, after which it degrades to SharedAt.
+// The return value reports whether a validated optimistic attempt served
+// the read (false means the pessimistic fallback ran).
+//
+// fn may therefore run several times and must be restartable: it must
+// buffer its observations privately and the caller must publish them only
+// after OptimisticAt returns — on the attempt that validation discards,
+// fn has read torn state. fn must also be read-only in the SharedAt sense
+// (payload-documented shared-safe operations only). When shard i's lock has
+// no optimistic path (not a lockapi.SeqReader), this is exactly SharedAt.
+func (s *Session[S]) OptimisticAt(p lockapi.Proc, i int, fn func(shard int, data S)) bool {
+	r := s.r
+	sq := r.seqs[i]
+	if sq == nil {
+		s.SharedAt(p, i, fn)
+		return false
+	}
+	st := &r.occ[i]
+	k := int(st.k.Load())
+	for a := 0; a < k; a++ {
+		st.optimistic.Add(1)
+		seq := sq.ReadSeq(p)
+		fn(i, r.shards[i])
+		if sq.ReadValidate(p, seq) {
+			st.noteSuccess(a)
+			return true
+		}
+		st.vfails.Add(1)
+	}
+	st.noteFallback()
+	s.SharedAt(p, i, fn)
+	return false
 }
 
 // Ascending visits shards from index `from` upward, running fn on each

@@ -5,6 +5,7 @@ import (
 
 	"github.com/clof-go/clof/internal/lockapi"
 	"github.com/clof-go/clof/internal/memsim"
+	"github.com/clof-go/clof/internal/obs"
 	"github.com/clof-go/clof/internal/store"
 	"github.com/clof-go/clof/internal/topo"
 	"github.com/clof-go/clof/internal/xrand"
@@ -75,18 +76,58 @@ type KVResult struct {
 	Result
 	// PerShard counts lock acquisitions per shard (exclusive + shared,
 	// scan visits included) — the contention attribution the serving
-	// experiments report.
+	// experiments report. Validated optimistic reads acquire no lock and are
+	// counted in OptimisticPerShard instead.
 	PerShard []uint64
 	// SharedPerShard counts the shared-mode subset of PerShard (0 for locks
 	// without a shared path).
 	SharedPerShard []uint64
+	// OptimisticPerShard counts optimistic (seqlock-validated) read attempts
+	// per shard — the seq: family's lock-free read sections, successful or
+	// not. 0 for shard locks without a lockapi.SeqReader path.
+	OptimisticPerShard []uint64
+	// OCCValidationFailsPerShard counts optimistic attempts whose snapshot a
+	// concurrent version bump invalidated (each is a retry or, once the
+	// budget is spent, a fallback) — the obs layer's per-shard retry metric.
+	OCCValidationFailsPerShard []uint64
+	// OCCFallbacksPerShard counts reads that exhausted the shard's adaptive
+	// attempt budget and fell back to the pessimistic shard lock.
+	OCCFallbacksPerShard []uint64
 	// Reads / Updates / RMWs / Scans split completed iterations by kind.
 	Reads, Updates, RMWs, Scans uint64
 	// SharedViolations counts shared acquisitions granted while a writer
 	// held the shard, plus exclusive grants while readers were active (must
 	// be 0 for a correct reader-writer lock).
 	SharedViolations uint64
+	// TornReads counts validated optimistic sections whose 4-cell equality
+	// oracle observed mixed values — a read the seqlock protocol should have
+	// discarded (must be 0 for a correct seqlock).
+	TornReads uint64
 }
+
+// OCCStats folds the per-shard optimistic counters into one obs.OCCOps
+// block per shard, ready for obs.CombineShards.
+func (r *KVResult) OCCStats() []obs.OCCOps {
+	out := make([]obs.OCCOps, len(r.OptimisticPerShard))
+	for i := range out {
+		out[i] = obs.OCCOps{
+			Optimistic:         r.OptimisticPerShard[i],
+			ValidationFailures: r.OCCValidationFailsPerShard[i],
+			Fallbacks:          r.OCCFallbacksPerShard[i],
+		}
+	}
+	return out
+}
+
+// Adaptive per-shard optimistic attempt budget — the same policy as the
+// native store's occShard (internal/store): start at 4, halve on fallback,
+// grow by one after 64 consecutive first-attempt validations, clamp [1, 8].
+const (
+	occKStart    = 4
+	occKMin      = 1
+	occKMax      = 8
+	occGrowAfter = 64
+)
 
 // RunKV executes the simulated serving workload; it reports an error on
 // deadlock.
@@ -133,21 +174,31 @@ func RunKV(cfg KVConfig) (KVResult, error) {
 	n := len(cpus)
 	m := memsim.New(memsim.Config{Machine: cfg.Machine, Seed: cfg.Seed, JitterNS: cfg.JitterNS})
 
-	// Per-shard state: lock (instrumented before contexts), RW capability,
-	// data cells, exclusion bookkeeping.
+	// Per-shard state: lock (instrumented before contexts), RW/seqlock
+	// capability, data cells, exclusion bookkeeping, adaptive OCC budget.
+	// The SeqReader capability is taken from the raw lock: optimistic reads
+	// never touch Acquire/Release, so there is nothing for an observer to
+	// see and no reason to lose the capability behind the instrument wrapper
+	// (the workload reports them via OptimisticPerShard instead, the same
+	// split as SharedPerShard).
 	locks := make([]lockapi.Lock, cfg.Shards)
 	rws := make([]lockapi.RWLocker, cfg.Shards)
+	sqs := make([]lockapi.SeqReader, cfg.Shards)
 	data := make([][]lockapi.Cell, cfg.Shards)
 	held := make([]bool, cfg.Shards)
 	readers := make([]int, cfg.Shards)
+	occK := make([]int, cfg.Shards)
+	occClean := make([]int, cfg.Shards)
 	for i := range locks {
 		l := cfg.NewShardLock()
+		sqs[i], _ = l.(lockapi.SeqReader)
 		if cfg.Observer != nil {
 			l = lockapi.Instrument(l, cfg.Observer(i))
 		}
 		locks[i] = l
 		rws[i], _ = l.(lockapi.RWLocker)
 		data[i] = make([]lockapi.Cell, 4)
+		occK[i] = occKStart
 	}
 	ctxs := make([][]lockapi.Ctx, n)
 	for t := 0; t < n; t++ {
@@ -158,9 +209,12 @@ func RunKV(cfg KVConfig) (KVResult, error) {
 	}
 
 	res := KVResult{
-		Result:         Result{PerThread: make([]uint64, n)},
-		PerShard:       make([]uint64, cfg.Shards),
-		SharedPerShard: make([]uint64, cfg.Shards),
+		Result:                     Result{PerThread: make([]uint64, n)},
+		PerShard:                   make([]uint64, cfg.Shards),
+		SharedPerShard:             make([]uint64, cfg.Shards),
+		OptimisticPerShard:         make([]uint64, cfg.Shards),
+		OCCValidationFailsPerShard: make([]uint64, cfg.Shards),
+		OCCFallbacksPerShard:       make([]uint64, cfg.Shards),
 	}
 
 	shardOf := func(key int) int {
@@ -196,11 +250,21 @@ func RunKV(cfg KVConfig) (KVResult, error) {
 				}
 			}
 			// sharedRead acquires shard i in shared mode when available and
-			// charges work ns while reading the shard's cells.
+			// charges work ns while reading the shard's record — the same
+			// four cells the optimistic path loads, so the two read
+			// disciplines differ only in their synchronization cost, not in
+			// the data they observe. The first load is Acquire out of
+			// discipline; the rest ride the lock's ordering.
 			// Shard counts increment after the acquisition completes: a
 			// thread can end the run parked inside Acquire (the horizon
 			// expires while it waits), and such an attempt is neither
 			// observed nor served.
+			readRecord := func(i int) {
+				p.Load(&data[i][0], lockapi.Acquire)
+				p.Load(&data[i][1], lockapi.Relaxed)
+				p.Load(&data[i][2], lockapi.Relaxed)
+				p.Load(&data[i][3], lockapi.Relaxed)
+			}
 			sharedRead := func(i int, work int64) {
 				if rw := rws[i]; rw != nil {
 					rw.AcquireShared(p, ctxs[t][i])
@@ -210,7 +274,7 @@ func RunKV(cfg KVConfig) (KVResult, error) {
 						res.SharedViolations++
 					}
 					readers[i]++
-					p.Load(&data[i][0], lockapi.Acquire)
+					readRecord(i)
 					p.Work(work)
 					readers[i]--
 					rw.ReleaseShared(p, ctxs[t][i])
@@ -222,10 +286,59 @@ func RunKV(cfg KVConfig) (KVResult, error) {
 					res.ExclusionViolations++
 				}
 				held[i] = true
-				p.Load(&data[i][0], lockapi.Acquire)
+				readRecord(i)
 				p.Work(work)
 				held[i] = false
 				locks[i].Release(p, ctxs[t][i])
+			}
+			// occRead mirrors the native store's optimistic read discipline
+			// (internal/store KVSession.Get): up to occK[i] unlocked attempts
+			// bracketed by ReadSeq/ReadValidate, then a pessimistic fallback
+			// through sharedRead. Each attempt reads all four shard cells
+			// Relaxed; a writer bumps them together under the lock, so a
+			// validated snapshot must see four equal values — unequal values
+			// escaping validation are torn reads (TornReads, must be 0).
+			// Optimistic attempts acquire no lock and so never touch
+			// PerShard, held, or readers.
+			occRead := func(i int, work int64) {
+				sq := sqs[i]
+				if sq == nil {
+					sharedRead(i, work)
+					return
+				}
+				k := occK[i]
+				for a := 0; a < k; a++ {
+					res.OptimisticPerShard[i]++
+					s := sq.ReadSeq(p)
+					v0 := p.Load(&data[i][0], lockapi.Relaxed)
+					v1 := p.Load(&data[i][1], lockapi.Relaxed)
+					v2 := p.Load(&data[i][2], lockapi.Relaxed)
+					v3 := p.Load(&data[i][3], lockapi.Relaxed)
+					p.Work(work)
+					if sq.ReadValidate(p, s) {
+						if v0 != v1 || v1 != v2 || v2 != v3 {
+							res.TornReads++
+						}
+						if a == 0 {
+							if occClean[i]++; occClean[i] >= occGrowAfter {
+								occClean[i] = 0
+								if occK[i] < occKMax {
+									occK[i]++
+								}
+							}
+						} else {
+							occClean[i] = 0
+						}
+						return
+					}
+					res.OCCValidationFailsPerShard[i]++
+				}
+				res.OCCFallbacksPerShard[i]++
+				occClean[i] = 0
+				if occK[i] /= 2; occK[i] < occKMin {
+					occK[i] = occKMin
+				}
+				sharedRead(i, work)
 			}
 			exclusiveWrite := func(i int, work int64) {
 				locks[i].Acquire(p, ctxs[t][i])
@@ -252,24 +365,25 @@ func RunKV(cfg KVConfig) (KVResult, error) {
 				roll := rng.Intn(100)
 				switch {
 				case roll < cfg.Mix.ReadPct:
-					sharedRead(sh, cfg.ReadWork)
+					occRead(sh, cfg.ReadWork)
 					res.Reads++
 				case roll < cfg.Mix.ReadPct+cfg.Mix.UpdatePct:
 					exclusiveWrite(sh, cfg.WriteWork)
 					res.Updates++
 				case roll < cfg.Mix.ReadPct+cfg.Mix.UpdatePct+cfg.Mix.RMWPct:
-					sharedRead(sh, cfg.ReadWork)
+					occRead(sh, cfg.ReadWork)
 					exclusiveWrite(sh, cfg.WriteWork)
 					res.RMWs++
 				default:
-					// Merged scan: consecutive shards ascending, one lock at
-					// a time (the native store's discipline).
+					// Merged scan: consecutive shards ascending, one shard at
+					// a time (the native store's discipline; seqlock shards
+					// collect optimistically, exactly like scanShard).
 					last := sh + scanShards
 					if last > cfg.Shards {
 						last = cfg.Shards
 					}
 					for i := sh; i < last; i++ {
-						sharedRead(i, cfg.ScanWork)
+						occRead(i, cfg.ScanWork)
 					}
 					res.Scans++
 				}

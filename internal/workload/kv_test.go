@@ -7,6 +7,7 @@ import (
 	"github.com/clof-go/clof/internal/locks"
 	"github.com/clof-go/clof/internal/obs"
 	"github.com/clof-go/clof/internal/rwlock"
+	"github.com/clof-go/clof/internal/seqlock"
 	"github.com/clof-go/clof/internal/store"
 	"github.com/clof-go/clof/internal/topo"
 )
@@ -80,6 +81,63 @@ func TestKVExclusionAcrossLocks(t *testing.T) {
 	}
 }
 
+// TestKVOptimisticReads: seqlock shard locks serve the read-mostly mix
+// through the lock-free validated path — reads bypass the shard lock, the
+// torn-read oracle stays clean, and the OCC counters are self-consistent.
+func TestKVOptimisticReads(t *testing.T) {
+	m := topo.X86Server()
+	r, err := RunKV(KVConfig{
+		Machine: m, Threads: 12, Shards: 4, Horizon: 200_000,
+		NewShardLock: func() lockapi.Lock { return seqlock.Wrap(locks.NewTicket(), seqlock.Opts{}) },
+		Mix:          store.ReadMostly, Dist: store.DistZipfian, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Total == 0 || r.Reads == 0 {
+		t.Fatal("no reads completed")
+	}
+	if r.TornReads != 0 {
+		t.Errorf("%d torn reads escaped seqlock validation", r.TornReads)
+	}
+	if r.ExclusionViolations != 0 || r.SharedViolations != 0 {
+		t.Errorf("violations: %d exclusion, %d shared", r.ExclusionViolations, r.SharedViolations)
+	}
+	var opt, vfails, falls, acqs uint64
+	for i := range r.OptimisticPerShard {
+		opt += r.OptimisticPerShard[i]
+		vfails += r.OCCValidationFailsPerShard[i]
+		falls += r.OCCFallbacksPerShard[i]
+		acqs += r.PerShard[i]
+	}
+	if opt == 0 {
+		t.Fatal("seqlock shards served no optimistic reads")
+	}
+	// Read-mostly: lock-free read attempts must dominate lock acquisitions,
+	// since only writes and fallbacks take the lock.
+	if opt <= acqs {
+		t.Errorf("optimistic attempts %d <= lock acquisitions %d on a read-mostly mix", opt, acqs)
+	}
+	// Every fallback spent a whole budget of failed validations first.
+	if vfails < falls {
+		t.Errorf("validation failures %d < fallbacks %d", vfails, falls)
+	}
+	// A plain ticket lock has no optimistic path: counters must stay zero.
+	r2, err := RunKV(KVConfig{
+		Machine: m, Threads: 12, Shards: 4, Horizon: 200_000,
+		NewShardLock: func() lockapi.Lock { return locks.NewTicket() },
+		Mix:          store.ReadMostly, Dist: store.DistZipfian, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range r2.OptimisticPerShard {
+		if c != 0 {
+			t.Errorf("shard %d: %d optimistic reads on a plain ticket lock", i, c)
+		}
+	}
+}
+
 // TestKVScanVisitsConsecutiveShards: the scan mix attributes acquisitions
 // to multiple shards per iteration and stays deadlock-free.
 func TestKVScanVisitsConsecutiveShards(t *testing.T) {
@@ -147,7 +205,7 @@ func TestKVObserverPerShard(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep := obs.CombineShards("tkt", collectors, r.SharedPerShard)
+	rep := obs.CombineShards("tkt", collectors, r.SharedPerShard, r.OCCStats())
 	if len(rep.Shards) != shards {
 		t.Fatalf("report shards = %d", len(rep.Shards))
 	}

@@ -25,6 +25,10 @@
 #  10. kv smoke                 (sharded-serving sweep at reduced scale,
 #      byte-compared across -j levels, then regenerated into
 #      figures-out/kv-quick/ for the CI artifact)
+#  11. occ smoke                (optimistic-read panels — the two
+#      read-mostly sweeps the seq: acceptance criterion quantifies over —
+#      byte-compared across -j levels, then regenerated into
+#      figures-out/occ-quick/ for the CI artifact)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -84,10 +88,21 @@ echo "== kv-quick (sharded-serving smoke + determinism)"
 # must still be byte-identical at any worker-pool width.
 go run ./cmd/clof-figures -exp kv -quick -j 1 -q -out "$tmp/kv-j1"
 go run ./cmd/clof-figures -exp kv -quick -j 4 -q -out "$tmp/kv-j4"
-for mix in read-mostly write-heavy rmw scan; do
+for mix in read-mostly write-heavy rmw scan read-mostly-armv8; do
   cmp "$tmp/kv-j1/kv-$mix.csv" "$tmp/kv-j4/kv-$mix.csv"
 done
 echo "kv smoke: byte-identical across -j levels"
 make kv-quick
+
+echo "== occ-quick (optimistic-read smoke + determinism)"
+# The seq: rows ride the kv sweep above; the focused occ alias must produce
+# the same read-mostly curves byte-for-byte at any worker-pool width.
+go run ./cmd/clof-figures -exp occ -quick -j 1 -q -out "$tmp/occ-j1"
+go run ./cmd/clof-figures -exp occ -quick -j 4 -q -out "$tmp/occ-j4"
+for f in kv-read-mostly kv-read-mostly-armv8; do
+  cmp "$tmp/occ-j1/$f.csv" "$tmp/occ-j4/$f.csv"
+done
+echo "occ smoke: byte-identical across -j levels"
+make occ-quick
 
 echo "check: OK"
