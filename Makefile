@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint lint-report lint-litmus doccheck check chaos figures figures-quick collapse-quick kv-quick occ-quick bench bench-smoke bench-kv
+.PHONY: build test lint lint-report lint-litmus doccheck check chaos figures figures-quick collapse-quick kv-quick occ-quick scale-quick bench bench-smoke bench-kv bench-scale
 
 build:
 	$(GO) build ./...
@@ -92,6 +92,21 @@ bench:
 bench-smoke:
 	CLOF_BENCH_OUT=$(CURDIR)/BENCH_smoke.json CLOF_BENCH_QUICK=1 $(GO) test ./internal/memsim -run TestWriteBenchArtifact -count=1 -v
 	$(GO) test ./internal/memsim ./internal/eventq -run XXX -bench 'BenchmarkMachine|BenchmarkQueue' -benchtime 1x
+
+# Deep-topology smoke: the 256-1024-vCPU bigmachine sweep (internal/topo
+# deep machines, EXPERIMENTS.md "Scaling the substrate") at reduced scale,
+# into its own artifact directory. CI uploads the CSVs + results.json; the
+# committed full-scale curves are figures-out/bigmachine-*.csv.
+scale-quick:
+	$(GO) run ./cmd/clof-figures -exp bigmachine -quick -j 0 -out figures-out/scale-quick
+
+# Deep-topology throughput baseline: full-machine contended runs on the
+# 256/512/1024-vCPU deep machines (~300ms each) into BENCH_scale.json.
+# Regenerate and commit after execution-core or topology changes; see
+# EXPERIMENTS.md "Scaling the substrate".
+bench-scale:
+	CLOF_SCALE_OUT=$(CURDIR)/BENCH_scale.json $(GO) test ./internal/memsim -run TestWriteBenchScaleArtifact -count=1 -v
+	$(GO) test ./internal/memsim -run XXX -bench 'BenchmarkMachineScale' -benchtime 100ms
 
 # Scripted-benchmark artifact for the sharded serving workload: every CLoF
 # composition as the per-shard lock, read-mostly mix, recorded point by

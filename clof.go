@@ -103,6 +103,16 @@ var (
 	Placement     = topo.Placement
 )
 
+// Deep 256–1024-vCPU machines for scaling studies beyond the paper's
+// platforms (see docs/TOPOLOGIES.md).
+var (
+	DeepServer256  = topo.DeepServer256
+	DeepServer512  = topo.DeepServer512
+	DeepServer1024 = topo.DeepServer1024
+	DeepServers    = topo.DeepServers
+	DeepHierarchy  = topo.DeepHierarchy
+)
+
 // Basic locks (see internal/locks).
 type LockType = locks.Type
 

@@ -101,6 +101,11 @@ var registry = []experiment{
 			c.emit(f)
 		}
 	}},
+	{"bigmachine", func(c *expCtx) {
+		for _, f := range figures.BigMachine(c.o) {
+			c.emit(f)
+		}
+	}},
 	// occ is the focused alias for the optimistic-read work: just the two
 	// read-mostly panels (x86 + armv8) the seq: acceptance criterion is
 	// asserted on. Not in "all" (see notInAll) — kv already emits both.

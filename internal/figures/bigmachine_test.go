@@ -1,0 +1,43 @@
+package figures
+
+import "testing"
+
+// TestBigMachineQuick asserts the scaling claim at reduced scale: on every
+// deep machine the sweep produces live (nonzero) full-occupancy throughput
+// for every lock, and the canonical CLoF composition beats the flat
+// global-spinning ticket lock at full occupancy — the advantage the deep
+// topologies exist to demonstrate. The full-scale committed artifacts
+// (figures-out/bigmachine-*.csv) record the headline ratios in their notes.
+func TestBigMachineQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-machine simulated sweeps")
+	}
+	figs := BigMachine(quick)
+	if len(figs) != 3 {
+		t.Fatalf("BigMachine returned %d figures, want 3", len(figs))
+	}
+	wantN := []int{256, 512, 1024}
+	for i, f := range figs {
+		n := wantN[i]
+		if len(f.Series) != len(BigMachineLocks) {
+			t.Fatalf("%s: %d series, want %d", f.ID, len(f.Series), len(BigMachineLocks))
+		}
+		for _, s := range f.Series {
+			if s.At(n) <= 0 {
+				t.Errorf("%s: %s has zero throughput at full occupancy (%d threads)", f.ID, s.Name, n)
+			}
+		}
+		clofS, ok1 := f.Get("clof:tkt-tkt-tkt-tkt")
+		tktS, ok2 := f.Get("tkt")
+		if !ok1 || !ok2 {
+			t.Fatalf("%s: headline series missing", f.ID)
+		}
+		if clofS.At(n) <= tktS.At(n) {
+			t.Errorf("%s: clof:tkt-tkt-tkt-tkt (%.4f) does not beat tkt (%.4f) at %d threads",
+				f.ID, clofS.At(n), tktS.At(n), n)
+		}
+		for _, note := range f.Notes {
+			t.Logf("%s note: %s", f.ID, note)
+		}
+	}
+}

@@ -16,11 +16,12 @@ type mcell struct {
 	// means never written. Used for symmetry-free state fingerprints.
 	wTag uint64
 	// idx is the cell's registration order (first touch), a deterministic
-	// identity for fingerprinting per-thread stale views (StaleLoads).
-	// Registration order is a function of the schedule prefix, so two
-	// prefixes reaching the same semantic state through different first
-	// touches may fingerprint apart — that only costs pruning, never
-	// soundness.
+	// identity for fingerprinting per-thread stale views (StaleLoads) and
+	// for cross-replay footprint comparison (POR). Cells are registered when
+	// an operation on them is *announced*, so every cell named by a pending
+	// or executed transition of a schedule prefix was registered within that
+	// prefix — registration order is a function of the prefix, which makes
+	// idx a consistent identity across replays sharing the prefix.
 	idx uint64
 }
 
@@ -29,28 +30,98 @@ type bufEntry struct {
 	cell  *mcell
 	value uint64
 	order lockapi.Order
-	// opIdx is the issuing operation's thread-local index (fingerprints).
+	// opIdx is the issuing operation's thread-local index (fingerprints, and
+	// the stable identity of this entry's flush pseudo-transition).
 	opIdx uint64
+	// issueIdx is the schedule index of the issuing store's transition; the
+	// flush can causally depend on nothing later (POR happens-before anchor).
+	issueIdx int
 }
 
-// Thread run status.
+// Pending-transition kinds: what a parked thread does when next granted.
 const (
-	thReady int = iota
-	thAwait
-	thDone
+	pkOp    int = iota // a shared-memory operation (load/store/rmw/fence)
+	pkYield            // a plain yield (unarmed Spin)
+	pkAwait            // an armed Spin: disabled until the watched cell changes
+	pkStale            // a stale-read fork (Config.StaleLoads)
 )
+
+// fpCell is one cell of a transition footprint. Cells are identified by
+// registration order (mcell.idx), not pointer, so footprints recorded in one
+// replay compare correctly against footprints from a later replay of the
+// same prefix.
+type fpCell struct {
+	idx   uint64
+	write bool
+}
+
+// footprint describes what a transition touches: the issuing thread, the
+// cells it may read or write, whether it applies monitor effects
+// (critical-section or fairness bookkeeping), and whether it is a
+// store-buffer flush pseudo-transition. Pending footprints are conservative
+// over-approximations — a CAS is announced as a write whether or not it
+// will succeed — which costs reduction, never soundness.
+type footprint struct {
+	tid     int
+	mon     bool
+	isFlush bool
+	cells   []fpCell
+}
+
+// pending is a thread's announced next transition: kind, footprint, and (for
+// awaits) the watched cell and version.
+type pending struct {
+	kind     int
+	foot     footprint
+	awaitOn  *mcell
+	awaitVer uint64
+}
+
+// Monitor-call kinds (buffered between operations; see Proc.monQ).
+const (
+	monEnterCS int = iota
+	monExitCS
+	monBeginWait
+	monEndWait
+	monAssert
+)
+
+// monEntry is one buffered monitor call.
+type monEntry struct {
+	kind int
+	cond bool
+	msg  string
+}
 
 // Proc is the model checker's processor handle. In addition to lockapi.Proc
 // it offers the critical-section and fairness hooks the verification
 // programs use.
+//
+// Execution protocol: every operation *announces* itself (kind + footprint)
+// and parks before applying any effect; the grant then applies buffered
+// monitor calls and the operation's effects and runs the body to its next
+// announce. Monitor calls made between two operations are therefore applied
+// exactly when the later operation executes — the same instant they took
+// effect when operations parked after their effects — so the protocol
+// change is invisible to verdicts while giving the explorer the footprint
+// of every pending transition (the enabler for partial-order reduction).
 type Proc struct {
 	ex     *exec
 	tid    int
 	resume chan struct{}
 
-	status   int
-	awaitOn  *mcell
-	awaitVer uint64
+	done bool
+	pend pending
+	monQ []monEntry
+
+	// footCells is the reusable backing for announced footprints; execFoot
+	// is the footprint of the transition being (or last) executed, with the
+	// mon bit set by drained monitor calls. execFoot keeps its own backing
+	// (execCells): the thread announces its next operation — overwriting
+	// footCells — before the scheduler reads the executed footprint.
+	footCells []fpCell
+	execCells []fpCell
+	execFoot  footprint
 
 	buffer []bufEntry
 
@@ -73,13 +144,12 @@ type Proc struct {
 	// Stale-load machinery (Config.StaleLoads, WMM only). seen caches the
 	// value this thread last observed per cell — the value a Relaxed load
 	// may still legally return after memory has moved on. A candidate stale
-	// read is announced as a scheduling fork: the thread parks with
-	// pendingStale set, the explorer schedules Choice{Stale: true|false},
+	// read is announced as a scheduling fork: the thread parks with a
+	// pkStale pending, the explorer schedules Choice{Stale: true|false},
 	// and staleTake carries the decision back.
-	seen         map[*mcell]uint64
-	pendingStale bool
-	pendingOld   uint64
-	staleTake    bool
+	seen       map[*mcell]uint64
+	pendingOld uint64
+	staleTake  bool
 }
 
 // mix is a 64-bit hash combiner (splitmix-style finalization).
@@ -112,12 +182,20 @@ type exec struct {
 	// stale enables the stale-load relaxation (Config.StaleLoads ∧ WMM).
 	stale bool
 
-	// cellList keeps registration order for final reads.
-	cellOf func(c *lockapi.Cell) *mcell
+	// stepCount is the number of transitions executed (the trace length);
+	// lastStepIdx[t] is the trace index of thread t's latest operation (-1
+	// before its first), anchoring the causal past of t's next transition;
+	// lastFoot is the footprint of the most recent transition.
+	stepCount   int
+	lastStepIdx []int
+	lastFoot    footprint
 }
 
-// newExec instantiates the program and parks every thread before its first
-// operation.
+// newExec instantiates the program and runs every thread to its first
+// announced operation. Pre-operation body code is thread-local by
+// construction (all shared accesses go through Proc), so sequential priming
+// is schedule-neutral; monitor calls made before the first operation are
+// buffered and take effect at its grant.
 func newExec(prog Program, cfg Config) *exec {
 	bodies := prog.Make()
 	ex := &exec{
@@ -127,9 +205,11 @@ func newExec(prog Program, cfg Config) *exec {
 		fairK:        cfg.FairnessK,
 		stale:        cfg.StaleLoads && cfg.Mode == WMM,
 		waitingSince: make([]int, len(bodies)),
+		lastStepIdx:  make([]int, len(bodies)),
 	}
 	for i := range ex.waitingSince {
 		ex.waitingSince[i] = -1
+		ex.lastStepIdx[i] = -1
 	}
 	for i, body := range bodies {
 		p := &Proc{ex: ex, tid: i, resume: make(chan struct{}), hist: uint64(i) + 1}
@@ -137,17 +217,24 @@ func newExec(prog Program, cfg Config) *exec {
 		body := body
 		go func() {
 			defer func() {
+				stopped := false
 				if r := recover(); r != nil {
-					if _, stop := r.(stopExec); !stop {
+					if _, s := r.(stopExec); !s {
 						panic(r)
 					}
+					stopped = true
 				}
-				p.status = thDone
+				if !stopped {
+					// Trailing monitor calls after the last operation take
+					// effect within that operation's grant.
+					p.drainMon()
+				}
+				p.done = true
 				ex.yield <- struct{}{}
 			}()
-			p.waitTurn()
 			body(p)
 		}()
+		<-ex.yield
 	}
 	return ex
 }
@@ -163,15 +250,16 @@ func (ex *exec) cell(c *lockapi.Cell) *mcell {
 	return m
 }
 
-// step grants thread t one operation (t must be enabled). stale resolves a
-// pending stale-read fork; it is ignored (and false) otherwise.
+// step grants thread t its announced transition (t must be enabled). stale
+// resolves a pending stale-read fork; it is ignored (and false) otherwise.
 func (ex *exec) step(t int, stale bool) {
 	p := ex.threads[t]
-	p.status = thReady
-	p.awaitOn = nil
 	p.staleTake = stale
 	p.resume <- struct{}{}
 	<-ex.yield
+	ex.lastFoot = p.execFoot
+	ex.lastStepIdx[t] = ex.stepCount
+	ex.stepCount++
 }
 
 // flush commits buffer entry idx of thread t to memory.
@@ -180,6 +268,8 @@ func (ex *exec) flush(t, idx int) {
 	e := p.buffer[idx]
 	commit(e.cell, e.value, uint64(t), e.opIdx)
 	p.buffer = append(p.buffer[:idx], p.buffer[idx+1:]...)
+	ex.lastFoot = footprint{tid: t, isFlush: true, cells: []fpCell{{e.cell.idx, true}}}
+	ex.stepCount++
 }
 
 // commit applies a write to memory. A write of the value already present is
@@ -198,7 +288,7 @@ func commit(m *mcell, v, tid, opIdx uint64) {
 // shutdown terminates all live thread goroutines.
 func (ex *exec) shutdown() {
 	for _, p := range ex.threads {
-		if p.status == thDone {
+		if p.done {
 			continue
 		}
 		close(p.resume)
@@ -210,18 +300,18 @@ func (ex *exec) shutdown() {
 func (ex *exec) enabledChoices() []Choice {
 	var out []Choice
 	for t, p := range ex.threads {
-		switch p.status {
-		case thDone:
-		case thAwait:
-			if p.awaitOn.version != p.awaitVer {
+		switch {
+		case p.done:
+		case p.pend.kind == pkAwait:
+			if p.pend.awaitOn.version != p.pend.awaitVer {
 				out = append(out, Choice{TID: t, Flush: -1})
 			}
+		case p.pend.kind == pkStale:
+			// The announced load forks: current value or last-seen.
+			out = append(out, Choice{TID: t, Flush: -1})
+			out = append(out, Choice{TID: t, Flush: -1, Stale: true})
 		default:
 			out = append(out, Choice{TID: t, Flush: -1})
-			if ex.stale && p.pendingStale {
-				// The announced load forks: current value or last-seen.
-				out = append(out, Choice{TID: t, Flush: -1, Stale: true})
-			}
 		}
 		for idx := range p.buffer {
 			if ex.flushable(p, idx) {
@@ -255,7 +345,7 @@ func (ex *exec) flushable(p *Proc, idx int) bool {
 // allDone reports full quiescence.
 func (ex *exec) allDone() bool {
 	for _, p := range ex.threads {
-		if p.status != thDone || len(p.buffer) != 0 {
+		if !p.done || len(p.buffer) != 0 {
 			return false
 		}
 	}
@@ -263,16 +353,32 @@ func (ex *exec) allDone() bool {
 }
 
 // fingerprint summarizes the state; equal fingerprints (with deterministic
-// thread bodies) imply equal futures.
+// thread bodies) imply equal futures. A thread's pending operation needs no
+// mixing of its own — it is a deterministic function of the observation
+// history already pinned by hist — but the pending KIND must join the
+// status: yields note at announce while operations note at grant, so when a
+// backoff loop exhausts, "yield pending" and "next op pending" share the
+// same hist and differ only in what is announced. Merging them undercounts
+// states and can make the quotient-graph search skip reachable successors
+// (observed on HBO, whose exponential backoff is exactly such a loop).
 func (ex *exec) fingerprint() fingerprint {
 	var fp fingerprint
 	for seed := 0; seed < 2; seed++ {
 		h := uint64(seed)*0xabcdef1234567891 + 1
 		for t, p := range ex.threads {
-			th := mix(p.hist, uint64(p.status))
-			if p.status == thAwait {
+			status := uint64(0)
+			switch {
+			case p.done:
+				status = 2
+			case p.pend.kind == pkAwait:
+				status = 1
+			case p.pend.kind == pkYield:
+				status = 3
+			}
+			th := mix(p.hist, status)
+			if !p.done && p.pend.kind == pkAwait {
 				enabled := uint64(0)
-				if p.awaitOn.version != p.awaitVer {
+				if p.pend.awaitOn.version != p.pend.awaitVer {
 					enabled = 1
 				}
 				th = mix(th, enabled)
@@ -293,7 +399,7 @@ func (ex *exec) fingerprint() fingerprint {
 				// The stale view is thread state: same memory, different
 				// last-seen values ⇒ different reachable futures. Unordered
 				// XOR, like the cell summary below.
-				if p.pendingStale {
+				if p.pend.kind == pkStale {
 					th = mix(th, 0x57a1e, p.pendingOld)
 				}
 				var sx uint64
@@ -363,10 +469,88 @@ func (p *Proc) waitTurn() {
 	}
 }
 
-// yieldTurn hands control back after an operation's effects.
-func (p *Proc) yieldTurn() {
+// fpReset/fpAdd build the next announcement's footprint in the reusable
+// per-thread backing array.
+func (p *Proc) fpReset()                { p.footCells = p.footCells[:0] }
+func (p *Proc) fpAdd(m *mcell, wr bool) { p.footCells = append(p.footCells, fpCell{m.idx, wr}) }
+
+// fpAddBuffer marks every buffered store as a potential write of this
+// transition (drain footprints for RMWs, strong fences, SeqCst stores).
+// Conservative: entries flushed between announce and grant shrink the real
+// drain, never grow it.
+func (p *Proc) fpAddBuffer() {
+	for i := range p.buffer {
+		p.fpAdd(p.buffer[i].cell, true)
+	}
+}
+
+// announce parks the thread with its next transition and waits for a grant;
+// on resume it records the executed footprint and applies the buffered
+// monitor calls (see the Proc comment for why this preserves exact verdict
+// timing).
+func (p *Proc) announce(pd pending) {
+	pd.foot = footprint{tid: p.tid, mon: p.monPending(), cells: p.footCells}
+	p.pend = pd
 	p.ex.yield <- struct{}{}
 	p.waitTurn()
+	p.execCells = append(p.execCells[:0], p.pend.foot.cells...)
+	p.execFoot = footprint{tid: p.tid, mon: p.pend.foot.mon, cells: p.execCells}
+	p.drainMon()
+}
+
+// monPending reports whether the buffered monitor calls will touch monitor
+// state (critical-section nesting, or fairness counters when the
+// bounded-bypass check is active) — the mon bit of the pending footprint.
+func (p *Proc) monPending() bool {
+	for _, e := range p.monQ {
+		switch e.kind {
+		case monEnterCS, monExitCS:
+			return true
+		case monBeginWait, monEndWait:
+			if p.ex.fairK > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// drainMon applies the buffered monitor calls in program order.
+func (p *Proc) drainMon() {
+	for _, e := range p.monQ {
+		switch e.kind {
+		case monEnterCS:
+			p.ex.inCS++
+			if p.ex.inCS > 1 {
+				p.ex.violation = "mutual exclusion violated"
+			}
+			p.execFoot.mon = true
+		case monExitCS:
+			p.ex.inCS--
+			p.execFoot.mon = true
+		case monBeginWait:
+			if p.ex.fairK > 0 {
+				p.ex.waitingSince[p.tid] = p.ex.acqTotal
+				p.execFoot.mon = true
+			}
+		case monEndWait:
+			if p.ex.fairK > 0 {
+				p.ex.waitingSince[p.tid] = -1
+				p.ex.acqTotal++
+				for _, since := range p.ex.waitingSince {
+					if since >= 0 && p.ex.acqTotal-since >= p.ex.fairK {
+						p.ex.violation = "bounded bypass violated (starvation witness)"
+					}
+				}
+				p.execFoot.mon = true
+			}
+		case monAssert:
+			if !e.cond && p.ex.violation == "" {
+				p.ex.violation = "assertion failed: " + e.msg
+			}
+		}
+	}
+	p.monQ = p.monQ[:0]
 }
 
 // readView returns the value of m as seen by this thread (own store buffer
@@ -384,7 +568,9 @@ func (p *Proc) readView(m *mcell) uint64 {
 // fences do this).
 func (p *Proc) drainBuffer() {
 	for len(p.buffer) > 0 {
-		p.ex.flush(p.tid, 0)
+		e := p.buffer[0]
+		commit(e.cell, e.value, uint64(p.tid), e.opIdx)
+		p.buffer = p.buffer[1:]
 	}
 }
 
@@ -437,14 +623,18 @@ func (p *Proc) seenSet(m *mcell, v uint64) {
 // loads discard the thread's stale views and always read current memory.
 func (p *Proc) Load(c *lockapi.Cell, o lockapi.Order) uint64 {
 	m := p.ex.cell(c)
+	p.fpReset()
+	p.fpAdd(m, false)
+	p.announce(pending{kind: pkOp})
 	v := p.readView(m)
 	if p.ex.stale {
 		if o == lockapi.Relaxed && !p.buffered(m) {
 			if old, ok := p.seen[m]; ok && old != v {
 				// Announce the fork and park until the explorer decides.
-				p.pendingStale, p.pendingOld = true, old
-				p.yieldTurn()
-				p.pendingStale = false
+				p.pendingOld = old
+				p.fpReset()
+				p.fpAdd(m, false)
+				p.announce(pending{kind: pkStale})
 				if p.staleTake {
 					v = old
 				} else {
@@ -460,14 +650,24 @@ func (p *Proc) Load(c *lockapi.Cell, o lockapi.Order) uint64 {
 	p.lastVer = m.version
 	p.spinArmed = true
 	p.note(opLoad, v)
-	p.yieldTurn()
 	return v
 }
 
 // Store implements lockapi.Proc. Under SC it writes through; under TSO/WMM
-// it enters the store buffer and commits at a later flush transition.
+// it enters the store buffer (no memory effect at this transition — the
+// commit belongs to the flush pseudo-transition) and commits at a later
+// flush.
 func (p *Proc) Store(c *lockapi.Cell, v uint64, o lockapi.Order) {
 	m := p.ex.cell(c)
+	writeThrough := p.ex.mode == SC || o == lockapi.SeqCst
+	p.fpReset()
+	if writeThrough {
+		if o == lockapi.SeqCst {
+			p.fpAddBuffer()
+		}
+		p.fpAdd(m, true)
+	}
+	p.announce(pending{kind: pkOp})
 	p.lastCell = m
 	p.spinArmed = true
 	if p.ex.stale {
@@ -476,22 +676,25 @@ func (p *Proc) Store(c *lockapi.Cell, v uint64, o lockapi.Order) {
 		p.seenSet(m, v)
 	}
 	p.note(opStore, v)
-	if p.ex.mode == SC || o == lockapi.SeqCst {
+	if writeThrough {
 		if o == lockapi.SeqCst {
 			p.drainBuffer()
 		}
 		p.commitWrite(m, v)
 	} else {
-		p.buffer = append(p.buffer, bufEntry{cell: m, value: v, order: o, opIdx: p.opIdx})
+		p.buffer = append(p.buffer, bufEntry{cell: m, value: v, order: o, opIdx: p.opIdx, issueIdx: p.ex.stepCount})
 	}
 	p.lastVer = m.version
-	p.yieldTurn()
 }
 
 // Add implements lockapi.Proc (returns the new value). RMWs drain the store
 // buffer and act on memory, like hardware atomics.
 func (p *Proc) Add(c *lockapi.Cell, delta uint64, _ lockapi.Order) uint64 {
 	m := p.ex.cell(c)
+	p.fpReset()
+	p.fpAddBuffer()
+	p.fpAdd(m, true)
+	p.announce(pending{kind: pkOp})
 	p.drainBuffer()
 	nv := m.value + delta
 	p.commitWrite(m, nv)
@@ -500,13 +703,16 @@ func (p *Proc) Add(c *lockapi.Cell, delta uint64, _ lockapi.Order) uint64 {
 	p.lastVer = m.version
 	p.spinArmed = true
 	p.note(opAdd, nv)
-	p.yieldTurn()
 	return nv
 }
 
 // Swap implements lockapi.Proc (returns the old value).
 func (p *Proc) Swap(c *lockapi.Cell, v uint64, _ lockapi.Order) uint64 {
 	m := p.ex.cell(c)
+	p.fpReset()
+	p.fpAddBuffer()
+	p.fpAdd(m, true)
+	p.announce(pending{kind: pkOp})
 	p.drainBuffer()
 	old := m.value
 	p.commitWrite(m, v)
@@ -515,13 +721,17 @@ func (p *Proc) Swap(c *lockapi.Cell, v uint64, _ lockapi.Order) uint64 {
 	p.lastVer = m.version
 	p.spinArmed = true
 	p.note(opSwap, old)
-	p.yieldTurn()
 	return old
 }
 
-// CAS implements lockapi.Proc.
+// CAS implements lockapi.Proc. Announced as a write whether or not it will
+// succeed (the outcome is unknown until execution).
 func (p *Proc) CAS(c *lockapi.Cell, old, new uint64, _ lockapi.Order) bool {
 	m := p.ex.cell(c)
+	p.fpReset()
+	p.fpAddBuffer()
+	p.fpAdd(m, true)
+	p.announce(pending{kind: pkOp})
 	p.drainBuffer()
 	ok := m.value == old
 	if ok {
@@ -536,7 +746,6 @@ func (p *Proc) CAS(c *lockapi.Cell, old, new uint64, _ lockapi.Order) bool {
 		okBit = 1
 	}
 	p.note(opCAS, okBit)
-	p.yieldTurn()
 	return ok
 }
 
@@ -555,6 +764,11 @@ func (p *Proc) rmwSeen(m *mcell, v uint64) {
 // under StaleLoads they also discharge the thread's stale views — the
 // Acquire fence in seqlock's ReadValidate is exactly this edge.
 func (p *Proc) Fence(o lockapi.Order) {
+	p.fpReset()
+	if o != lockapi.Relaxed {
+		p.fpAddBuffer()
+	}
+	p.announce(pending{kind: pkOp})
 	if o != lockapi.Relaxed {
 		p.drainBuffer()
 		if p.ex.stale {
@@ -562,68 +776,58 @@ func (p *Proc) Fence(o lockapi.Order) {
 		}
 	}
 	p.note(opFence, uint64(o))
-	p.yieldTurn()
 }
 
 // Spin implements lockapi.Proc: an armed Spin awaits a change of the last
 // accessed cell (collapsing the spin loop); an unarmed Spin (no memory
-// access since the previous one) is a plain yield.
+// access since the previous one) is a plain yield. The await takes effect
+// at the announcement — the thread parks disabled immediately, without a
+// separate schedulable parking step (the old parking step had no shared
+// effect, so eliding it preserves verdicts and shrinks the state space).
 func (p *Proc) Spin() {
 	p.note(opSpin)
 	if p.spinArmed && p.lastCell != nil {
 		p.spinArmed = false
-		p.status = thAwait
-		p.awaitOn = p.lastCell
-		p.awaitVer = p.lastVer
+		m, ver := p.lastCell, p.lastVer
+		p.fpReset()
+		p.fpAdd(m, false)
+		p.announce(pending{kind: pkAwait, awaitOn: m, awaitVer: ver})
+	} else {
+		p.fpReset()
+		p.announce(pending{kind: pkYield})
 	}
-	p.yieldTurn()
 }
 
 // ID implements lockapi.Proc.
 func (p *Proc) ID() int { return p.tid }
 
 // EnterCS marks critical-section entry; two concurrent holders violate
-// mutual exclusion.
+// mutual exclusion. Like all monitor calls it is buffered and takes effect
+// when the next operation executes (or at thread completion).
 func (p *Proc) EnterCS() {
-	p.ex.inCS++
-	if p.ex.inCS > 1 {
-		p.ex.violation = "mutual exclusion violated"
-	}
+	p.monQ = append(p.monQ, monEntry{kind: monEnterCS})
 }
 
 // ExitCS marks critical-section exit.
 func (p *Proc) ExitCS() {
-	p.ex.inCS--
+	p.monQ = append(p.monQ, monEntry{kind: monExitCS})
 }
 
 // BeginWait marks the start of a lock acquisition (bounded-bypass check).
 func (p *Proc) BeginWait() {
-	if p.ex.fairK > 0 {
-		p.ex.waitingSince[p.tid] = p.ex.acqTotal
-	}
+	p.monQ = append(p.monQ, monEntry{kind: monBeginWait})
 }
 
 // EndWait marks a successful acquisition; if any still-waiting thread has
 // been bypassed FairnessK times, that is a fairness violation.
 func (p *Proc) EndWait() {
-	if p.ex.fairK == 0 {
-		return
-	}
-	p.ex.waitingSince[p.tid] = -1
-	p.ex.acqTotal++
-	for t, since := range p.ex.waitingSince {
-		if since >= 0 && p.ex.acqTotal-since >= p.ex.fairK {
-			p.ex.violation = "bounded bypass violated (starvation witness)"
-			_ = t
-		}
-	}
+	p.monQ = append(p.monQ, monEntry{kind: monEndWait})
 }
 
-// Assert reports a program-specific invariant violation.
+// Assert reports a program-specific invariant violation (the condition is
+// evaluated at the call site; the report lands with the next operation).
 func (p *Proc) Assert(cond bool, msg string) {
-	if !cond && p.ex.violation == "" {
-		p.ex.violation = "assertion failed: " + msg
-	}
+	p.monQ = append(p.monQ, monEntry{kind: monAssert, cond: cond, msg: msg})
 }
 
 var _ lockapi.Proc = (*Proc)(nil)

@@ -101,6 +101,18 @@ type Config struct {
 	// state fingerprint, so expect a larger state space. Ignored under
 	// SC/TSO, where loads are always current.
 	StaleLoads bool
+	// POR enables dynamic partial-order reduction (see por.go): same
+	// verdicts as exhaustive exploration over fewer states, at the price
+	// of giving up state-fingerprint pruning (incompatible with
+	// backtrack-set computation) — witnesses may differ between the two
+	// searches. The reduction pays off on SC compositions (independent
+	// per-level lock cells commute); under TSO/WMM the stateless search
+	// must pay one replay per Mazurkiewicz trace, which for queue locks
+	// can exceed the deduped exhaustive search's replay count — verdicts
+	// stay identical, wall time may not improve. Ignored (exhaustive
+	// fallback) when StaleLoads is active, whose mid-operation forks the
+	// footprint protocol does not cover.
+	POR bool
 }
 
 // Result summarizes a check.
@@ -121,6 +133,9 @@ type Result struct {
 	// Truncated reports that a budget was exhausted before exhaustion of
 	// the state space.
 	Truncated bool
+	// Reduced reports that the partial-order-reduced search produced this
+	// result (Config.POR honored; false on the StaleLoads fallback).
+	Reduced bool
 }
 
 // Choice is one scheduling decision: run thread TID's pending operation, or
@@ -166,6 +181,9 @@ func Check(prog Program, cfg Config) Result {
 	}
 	if cfg.MaxStates == 0 {
 		cfg.MaxStates = 2_000_000
+	}
+	if cfg.POR && !(cfg.StaleLoads && cfg.Mode == WMM) {
+		return checkPOR(prog, cfg)
 	}
 	c := &checker{prog: prog, cfg: cfg, visited: make(map[fingerprint]struct{})}
 	c.explore(nil)

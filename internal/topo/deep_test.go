@@ -1,0 +1,119 @@
+package topo
+
+import "testing"
+
+// TestDeepServerShapes pins the vCPU counts and 4-distinct-level structure
+// of the deep machines.
+func TestDeepServerShapes(t *testing.T) {
+	want := map[string]int{
+		"armv8-deep-256":  256,
+		"armv8-deep-512":  512,
+		"armv8-deep-1024": 1024,
+	}
+	ms := DeepServers()
+	if len(ms) != 3 {
+		t.Fatalf("DeepServers returned %d machines", len(ms))
+	}
+	for _, m := range ms {
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if got := m.NumCPUs(); got != want[m.Name] {
+			t.Errorf("%s: NumCPUs = %d, want %d", m.Name, got, want[m.Name])
+		}
+		// All four hierarchy levels must be genuinely distinct (different
+		// cohort counts), otherwise the "deep" claim is hollow.
+		prev := m.Cohorts(CacheGroup)
+		for _, l := range []Level{NUMA, Package, System} {
+			c := m.Cohorts(l)
+			if c >= prev {
+				t.Errorf("%s: level %v has %d cohorts, not fewer than %d below it", m.Name, l, c, prev)
+			}
+			prev = c
+		}
+		h := DeepHierarchy(m)
+		if h.Depth() != 4 {
+			t.Errorf("%s: DeepHierarchy depth = %d, want 4", m.Name, h.Depth())
+		}
+	}
+}
+
+// TestDeepShareLevels spot-checks the share-level geometry of the 1024-vCPU
+// machine: 8 CPUs per cluster, 64 per die, 256 per socket.
+func TestDeepShareLevels(t *testing.T) {
+	m := DeepServer1024()
+	cases := []struct {
+		a, b int
+		want Level
+	}{
+		{0, 0, Core},
+		{0, 7, CacheGroup},
+		{0, 8, NUMA},
+		{0, 63, NUMA},
+		{0, 64, Package},
+		{0, 255, Package},
+		{0, 256, System},
+		{512, 1023, System},
+		{768, 1023, Package},
+	}
+	for _, c := range cases {
+		if got := m.ShareLevel(c.a, c.b); got != c.want {
+			t.Errorf("ShareLevel(%d, %d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestDeepBigLittleSpeeds pins the per-die big/LITTLE split: first half of
+// every die's clusters big, second half slow, identically in every die.
+func TestDeepBigLittleSpeeds(t *testing.T) {
+	m := DeepServer256()
+	speeds := DeepBigLittleSpeeds(m, 3.0)
+	if len(speeds) != 256 {
+		t.Fatalf("got %d speeds for %d CPUs", len(speeds), m.NumCPUs())
+	}
+	big, little := 0, 0
+	for cpu, s := range speeds {
+		switch s {
+		case 1.0:
+			big++
+		case 3.0:
+			little++
+		default:
+			t.Fatalf("cpu %d: unexpected speed %v", cpu, s)
+		}
+	}
+	if big != little || big != 128 {
+		t.Fatalf("big/LITTLE split %d/%d, want 128/128", big, little)
+	}
+	// Every die must see the same pattern: cluster 0 big, cluster 7 LITTLE.
+	perDie := m.GroupsPerNUMA * m.CoresPerGroup
+	for die := 0; die < m.Cohorts(NUMA); die++ {
+		base := die * perDie
+		if speeds[base] != 1.0 {
+			t.Errorf("die %d: first cluster not big", die)
+		}
+		if speeds[base+perDie-1] != 3.0 {
+			t.Errorf("die %d: last cluster not LITTLE", die)
+		}
+	}
+}
+
+// TestDeepPlacement pins that the core-first placement policy covers a deep
+// machine: 1024 threads on 1024 cores places every CPU exactly once.
+func TestDeepPlacement(t *testing.T) {
+	m := DeepServer1024()
+	cpus := MustPlacement(m, 1024)
+	seen := make([]bool, 1024)
+	for _, c := range cpus {
+		if seen[c] {
+			t.Fatalf("cpu %d placed twice", c)
+		}
+		seen[c] = true
+	}
+	// No SMT on the deep machines: the first n threads occupy cpus 0..n-1.
+	for i, c := range MustPlacement(m, 100) {
+		if c != i {
+			t.Fatalf("thread %d placed on cpu %d, want %d", i, c, i)
+		}
+	}
+}

@@ -29,6 +29,9 @@
 #      read-mostly sweeps the seq: acceptance criterion quantifies over —
 #      byte-compared across -j levels, then regenerated into
 #      figures-out/occ-quick/ for the CI artifact)
+#  12. scale smoke              (deep-topology bigmachine sweep — the
+#      256/512/1024-vCPU catalog panels — byte-compared across -j levels,
+#      then regenerated into figures-out/scale-quick/ for the CI artifact)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -104,5 +107,17 @@ for f in kv-read-mostly kv-read-mostly-armv8; do
 done
 echo "occ smoke: byte-identical across -j levels"
 make occ-quick
+
+echo "== scale-quick (deep-topology smoke + determinism)"
+# The 256/512/1024-vCPU bigmachine panels must be byte-identical at any
+# worker-pool width — the golden-determinism guarantee extends to the deep
+# topologies.
+go run ./cmd/clof-figures -exp bigmachine -quick -j 1 -q -out "$tmp/scale-j1"
+go run ./cmd/clof-figures -exp bigmachine -quick -j 4 -q -out "$tmp/scale-j4"
+for n in 256 512 1024; do
+  cmp "$tmp/scale-j1/bigmachine-$n.csv" "$tmp/scale-j4/bigmachine-$n.csv"
+done
+echo "scale smoke: byte-identical across -j levels"
+make scale-quick
 
 echo "check: OK"

@@ -9,6 +9,9 @@
 #      column 0, and exported methods on exported receivers — is
 #      immediately preceded by a comment line. Methods on unexported
 #      receivers are exempt: godoc does not render them.
+#   3. no orphan docs: every markdown file under docs/ is linked (by file
+#      name) from README.md or from another file under docs/ — a doc
+#      nobody can reach from the front page is a doc nobody reads.
 #
 # Column-0 matching is a deliberate approximation: declarations inside
 # var/const/type blocks are indented and therefore exempt, which matches
@@ -52,6 +55,24 @@ for f in $(gofiles); do
         END { exit bad }
     ' "$f" || status=1
 done
+
+# Rule 3: no orphan docs.
+if [ -d docs ]; then
+    for f in docs/*.md; do
+        [ -e "$f" ] || continue
+        base=$(basename "$f")
+        linked=0
+        if grep -q "$base" README.md; then linked=1; fi
+        for other in docs/*.md; do
+            [ "$other" = "$f" ] && continue
+            if grep -q "$base" "$other"; then linked=1; break; fi
+        done
+        if [ "$linked" = 0 ]; then
+            echo "doccheck: $f: orphan doc — link it from README.md or another docs/ file"
+            status=1
+        fi
+    done
+fi
 
 if [ "$status" != 0 ]; then
     echo "doccheck: FAIL — every exported declaration needs a doc comment" >&2
